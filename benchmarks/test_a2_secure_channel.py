@@ -1,0 +1,105 @@
+"""A2 (ablation) — §3.2: the cost of securing the authorisation channel.
+
+Paper claim: mutual authentication between enforcement and decision
+points is *necessary* ("enforcement points need to be sure that the
+authorisation decision response comes from their trusted decision point
+... decision points should only reveal decisions on authentic access
+request decision queries") — but protection costs bytes and time.  This
+ablation quantifies what turning WS-Security on for the PEP↔PDP channel
+costs per decision, and verifies the protections it buys.
+"""
+
+from repro.bench import Experiment
+from repro.components import PdpConfig, PepConfig, RpcFault
+from repro.domain import AdministrativeDomain
+from repro.simnet import Network
+from repro.wss import KeyStore
+from repro.xacml import (
+    Policy,
+    combining,
+    deny_rule,
+    permit_rule,
+    subject_resource_action_target,
+)
+
+DECISIONS = 30
+
+
+def build(secure, seed=81):
+    network = Network(seed=seed)
+    keystore = KeyStore(seed=seed)
+    domain = AdministrativeDomain("acme", network, keystore)
+    domain.create_pap()
+    domain.pap.publish(
+        Policy(
+            policy_id="p",
+            rules=(
+                permit_rule(
+                    "alice", subject_resource_action_target(subject_id="alice")
+                ),
+                deny_rule("rest"),
+            ),
+            rule_combining=combining.RULE_FIRST_APPLICABLE,
+        )
+    )
+    domain.create_pip()
+    domain.create_pdp(
+        config=PdpConfig(require_signed_queries=secure, sign_responses=secure)
+    )
+    pep = domain.create_pep("db", config=PepConfig(secure_channel=secure))
+    return network, domain, pep
+
+
+def run(secure):
+    network, domain, pep = build(secure)
+    pep.authorize_simple("alice", "db", "read")  # warm the policy cache
+    before_messages = network.metrics.messages_sent
+    before_bytes = network.metrics.bytes_sent
+    for _ in range(DECISIONS):
+        result = pep.authorize_simple("alice", "db", "read")
+        assert result.granted
+    return {
+        "messages": network.metrics.messages_sent - before_messages,
+        "bytes": network.metrics.bytes_sent - before_bytes,
+        "latency_ms": network.metrics.latency().mean * 1000,
+    }
+
+
+def test_a2_secure_channel_cost(benchmark):
+    plain = run(secure=False)
+    secure = run(secure=True)
+
+    experiment = Experiment(
+        exp_id="A2",
+        title=f"PEP<->PDP channel protection cost over {DECISIONS} decisions",
+        paper_claim="mutual authentication is mandatory for dependable "
+        "decisions; WS-Security costs bytes per decision",
+        columns=["channel", "messages", "bytes", "bytes_per_decision"],
+    )
+    experiment.add_row(
+        "plain", plain["messages"], plain["bytes"],
+        round(plain["bytes"] / DECISIONS),
+    )
+    experiment.add_row(
+        "WS-Security (signed both ways)", secure["messages"], secure["bytes"],
+        round(secure["bytes"] / DECISIONS),
+    )
+    overhead = secure["bytes"] / plain["bytes"]
+    experiment.note(f"byte overhead factor: {overhead:.2f}x")
+    experiment.show()
+
+    # Shape: same message count, significantly more bytes (>1.3x).
+    assert secure["messages"] == plain["messages"]
+    assert overhead > 1.3
+
+    # What the cost buys — (a) the strict PDP refuses unsigned queries:
+    network, domain, _ = build(secure=True, seed=82)
+    naive_pep = domain.create_pep("db2", config=PepConfig(secure_channel=False))
+    result = naive_pep.authorize_simple("alice", "db2", "read")
+    assert result.source == "fail-safe"  # unsigned query rejected upstream
+    # (b) a PEP on the secure channel rejects decisions not signed by its
+    # PDP (covered by unit tests via signer verification).
+
+    network_bench, _, pep_bench = build(secure=True, seed=83)
+    pep_bench.authorize_simple("alice", "db", "read")
+    benchmark(lambda: pep_bench.authorize_simple("alice", "db", "read"))

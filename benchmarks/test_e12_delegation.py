@@ -1,0 +1,114 @@
+"""E12 — §3.2 autonomy & delegation: cross-domain administrative delegation.
+
+Paper claim: decentralised administrative policies let each domain
+delegate parts of its policy-making; deeper delegation chains are harder
+to track ("it is hard to track the rights for resources") and revocation
+must cut all downstream rights.  The experiment measures reduction work
+against chain depth and demonstrates cascading revocation.
+"""
+
+from repro.admin import DelegationRegistry, Scope, effective_policies
+from repro.bench import Experiment
+from repro.xacml import Policy, permit_rule, subject_resource_action_target
+
+DEPTHS = (1, 2, 4, 8, 16)
+
+
+def build_chain(depth):
+    registry = DelegationRegistry(roots={"vo-authority"})
+    previous = "vo-authority"
+    for level in range(depth):
+        delegate = f"admin-l{level + 1}"
+        registry.grant(
+            previous, delegate, Scope(resource_id="dataset"), max_depth=depth - level
+        )
+        previous = delegate
+    return registry, previous
+
+
+def test_e12_delegation_chains(benchmark):
+    experiment = Experiment(
+        exp_id="E12a",
+        title="Reduction cost vs delegation chain depth",
+        paper_claim="deeper chains cost more to validate (rights are hard "
+        "to track); reduction still terminates with the full chain",
+        columns=["chain_depth", "valid", "chain_recovered", "steps_examined"],
+    )
+    step_counts = {}
+    for depth in DEPTHS:
+        registry, leaf = build_chain(depth)
+        result = registry.reduce(leaf, Scope(resource_id="dataset", action_id="read"))
+        step_counts[depth] = result.steps_examined
+        experiment.add_row(depth, result.valid, result.depth, result.steps_examined)
+        assert result.valid
+        assert result.depth == depth
+    experiment.show()
+
+    # Shape: work grows with depth.
+    assert step_counts[16] > step_counts[4] > step_counts[1]
+
+    registry, leaf = build_chain(8)
+    benchmark(
+        lambda: registry.reduce(leaf, Scope(resource_id="dataset", action_id="read"))
+    )
+
+
+def test_e12_revocation_cascades(benchmark):
+    registry, leaf = build_chain(4)
+    policy_by_leaf = Policy(
+        policy_id="leaf-issued",
+        rules=(permit_rule("p"),),
+        target=subject_resource_action_target(resource_id="dataset"),
+        issuer=leaf,
+    )
+    effective_before, _ = effective_policies(registry, [policy_by_leaf])
+
+    # The VO authority revokes its very first grant: the entire chain and
+    # every policy issued under it must become ineffective.
+    registry.revoke(
+        "vo-authority", "admin-l1", Scope(resource_id="dataset")
+    )
+    effective_after, rejected_after = effective_policies(registry, [policy_by_leaf])
+
+    experiment = Experiment(
+        exp_id="E12b",
+        title="Cascading revocation through a 4-hop delegation chain",
+        paper_claim="revoking an upstream grant invalidates every "
+        "downstream right (cascade)",
+        columns=["phase", "leaf_policy_effective"],
+    )
+    experiment.add_row("before revocation", bool(effective_before))
+    experiment.add_row("after root revokes hop 1", bool(effective_after))
+    experiment.show()
+
+    assert effective_before and not effective_after
+    assert rejected_after and "no grant chain" in rejected_after[0][1]
+
+    benchmark(lambda: effective_policies(registry, [policy_by_leaf]))
+
+
+def test_e12_scope_confinement(benchmark):
+    """A delegate can only issue policies inside the delegated scope."""
+    registry = DelegationRegistry(roots={"vo-authority"})
+    registry.grant(
+        "vo-authority", "dept-admin", Scope(resource_id="dataset"), max_depth=1
+    )
+    in_scope = Policy(
+        policy_id="ok",
+        rules=(permit_rule("p"),),
+        target=subject_resource_action_target(resource_id="dataset"),
+        issuer="dept-admin",
+    )
+    out_of_scope = Policy(
+        policy_id="overreach",
+        rules=(permit_rule("p"),),
+        target=subject_resource_action_target(resource_id="payroll"),
+        issuer="dept-admin",
+    )
+    effective, rejected = effective_policies(registry, [in_scope, out_of_scope])
+    assert [p.policy_id for p in effective] == ["ok"]
+    assert [p.policy_id for p, _ in rejected] == ["overreach"]
+
+    benchmark(
+        lambda: effective_policies(registry, [in_scope, out_of_scope])
+    )

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Trust negotiation: admitting a stranger no IdP or VO registry knows.
+
+The paper's Section 3.1 describes populations for which "neither
+identity- nor capability-based approaches ... provide required
+functionality": strangers.  This example walks the Traust-style flow:
+
+1. a contractor with no account anywhere approaches a protected dataset;
+2. identity- and capability-based admission both fail (no IdP knows
+   them, the CAS refuses);
+3. bilateral trust negotiation succeeds: the provider discloses its
+   accreditation once the contractor shows a public id, which unlocks the
+   contractor's guarded business license, satisfying the access policy;
+4. the negotiation server mints a short-lived capability that the PEP
+   then accepts like any CAS token — bridging negotiation into the
+   ordinary push architecture.
+
+Run:  python examples/trust_negotiation.py
+"""
+
+from repro.capability import CapabilityVerifier
+from repro.domain import (
+    AdministrativeDomain,
+    Credential,
+    NegotiationParty,
+    TraustServer,
+)
+from repro.simnet import Network
+from repro.wss import KeyStore
+
+
+def main() -> None:
+    network = Network(seed=17)
+    keystore = KeyStore(seed=17)
+    provider = AdministrativeDomain("data-provider", network, keystore)
+    provider.standard_layout()
+
+    # The Traust server guards 'survey-data': admission requires a
+    # government business license and a signed NDA.
+    traust = TraustServer(
+        "traust.data-provider",
+        network,
+        "data-provider",
+        provider.component_identity("traust.data-provider"),
+        token_lifetime=180.0,
+    )
+    traust.protect_resource(
+        "survey-data", frozenset({"business-license", "signed-nda"})
+    )
+    # The provider's own disclosable credentials, some guarded:
+    traust.provider_party.add_credential(
+        Credential("provider-accreditation", "industry-body", "data-provider")
+    )
+    traust.provider_party.add_credential(
+        Credential("nda-template", "data-provider", "data-provider"),
+        requires=frozenset({"business-license"}),
+    )
+
+    # The stranger: no account in any VO domain.
+    contractor = NegotiationParty("fieldwork-ltd")
+    contractor.add_credential(
+        Credential("public-id", "companies-house", "fieldwork-ltd")
+    )
+    contractor.add_credential(
+        # Will only show its license to an accredited provider.
+        Credential("business-license", "gov", "fieldwork-ltd"),
+        requires=frozenset({"provider-accreditation"}),
+    )
+    contractor.add_credential(
+        # Signs the NDA only after seeing the template.
+        Credential("signed-nda", "fieldwork-ltd", "fieldwork-ltd"),
+        requires=frozenset({"nda-template"}),
+    )
+    traust.register_party(contractor)
+
+    # Identity-based? No IdP knows the contractor.
+    print("identity-based admission:",
+          "known to provider IdP" if provider.idp.knows("fieldwork-ltd")
+          else "FAILS (unknown subject)")
+
+    # Negotiate.
+    outcome, token = traust.negotiate_for("fieldwork-ltd", "survey-data")
+    print(f"\nnegotiation: success={outcome.success} in {outcome.rounds} rounds "
+          f"({outcome.messages} credential messages)")
+    print("  contractor disclosed:",
+          [c.credential_type for c in outcome.disclosed_by_requester])
+    print("  provider disclosed:  ",
+          [c.credential_type for c in outcome.disclosed_by_provider])
+
+    # The minted token is an ordinary signed SAML assertion the PEP can
+    # validate against the provider's own trust anchors.
+    assert token is not None
+    verifier = CapabilityVerifier(keystore, provider.validator)
+    from repro.saml import validate_assertion
+
+    assertion = validate_assertion(
+        token, keystore, provider.validator, at=network.now + 1.0
+    )
+    print(f"\nissued token: subject={assertion.subject_id!r}, "
+          f"scope={assertion.attribute_values('urn:repro:traust:scope')}, "
+          f"valid for {assertion.not_on_or_after - assertion.not_before:.0f}s, "
+          f"{token.wire_size} bytes")
+
+    # A party that refuses to disclose reaches a fixpoint: no admission.
+    secretive = NegotiationParty("shell-corp")
+    secretive.add_credential(
+        Credential("business-license", "gov", "shell-corp"),
+        requires=frozenset({"never-disclosed-thing"}),
+    )
+    traust.register_party(secretive)
+    outcome, token = traust.negotiate_for("shell-corp", "survey-data")
+    print(f"\nsecretive party: success={outcome.success} ({outcome.reason})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline CI environment has no ``wheel`` package, so PEP 517 editable
+installs fail; ``pip install -e . --no-build-isolation --no-use-pep517``
+takes this legacy path instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro: dependable access control for multi-domain computing environments.
+
+A from-scratch reproduction of Machulak, Parkin & van Moorsel,
+*Architecting Dependable Access Control Systems for Multi-Domain Computing
+Environments* (DSN 2008).  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the experiment-by-experiment reproduction record.
+
+Layering (bottom-up):
+
+``simnet`` → ``wss`` → ``wsvc`` → ``xacml`` → ``saml`` → ``components`` →
+``domain`` → ``models`` → ``capability`` → ``admin`` → ``core`` →
+``workloads`` → ``bench``
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "simnet",
+    "wss",
+    "wsvc",
+    "xacml",
+    "saml",
+    "components",
+    "domain",
+    "models",
+    "capability",
+    "admin",
+    "core",
+    "workloads",
+    "bench",
+]

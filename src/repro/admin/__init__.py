@@ -1,0 +1,72 @@
+"""Administration layer: delegation, syndication, conflicts, lifecycle.
+
+The Section-3 management machinery: the XACML Administration & Delegation
+profile (grants + reduction + revocation), the Fig. 5 policy-syndication
+hierarchy, static modality-conflict analysis with runtime meta-policies
+(SoD, Chinese Wall), and the policy lifecycle state machine with the
+VO-wide consolidated compliance view.
+"""
+
+from .conflicts import (
+    ChineseWallMetaPolicy,
+    ConflictFinding,
+    MetaPolicy,
+    MetaPolicyEngine,
+    RuleFootprint,
+    SeparationOfDutyMetaPolicy,
+    Veto,
+    find_modality_conflicts,
+    footprints,
+)
+from .delegation import (
+    AdminGrant,
+    DelegationError,
+    DelegationRegistry,
+    ReductionResult,
+    Scope,
+    effective_policies,
+)
+from .management import (
+    DomainPolicySummary,
+    LifecycleError,
+    LifecycleEvent,
+    LifecycleState,
+    ManagedPolicy,
+    PolicyLifecycleManager,
+    consolidated_view,
+)
+from .syndication import (
+    AcceptancePolicy,
+    SyndicationNode,
+    SyndicationReport,
+    build_hierarchy,
+)
+
+__all__ = [
+    "AcceptancePolicy",
+    "AdminGrant",
+    "ChineseWallMetaPolicy",
+    "ConflictFinding",
+    "DelegationError",
+    "DelegationRegistry",
+    "DomainPolicySummary",
+    "LifecycleError",
+    "LifecycleEvent",
+    "LifecycleState",
+    "ManagedPolicy",
+    "MetaPolicy",
+    "MetaPolicyEngine",
+    "PolicyLifecycleManager",
+    "ReductionResult",
+    "RuleFootprint",
+    "Scope",
+    "SeparationOfDutyMetaPolicy",
+    "SyndicationNode",
+    "SyndicationReport",
+    "Veto",
+    "build_hierarchy",
+    "consolidated_view",
+    "effective_policies",
+    "find_modality_conflicts",
+    "footprints",
+]

@@ -1,0 +1,6 @@
+"""Benchmark harness: experiment tables and reporting."""
+
+from .harness import Experiment
+from .reporting import render_table
+
+__all__ = ["Experiment", "render_table"]

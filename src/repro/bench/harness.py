@@ -1,0 +1,54 @@
+"""Experiment harness: runs experiments and collects printable rows.
+
+Every benchmark in ``benchmarks/`` builds an :class:`Experiment`, adds
+rows (one per configuration/sweep point) and prints the table in the
+format EXPERIMENTS.md records.  Keeping the row schema uniform lets the
+reproduction compare "paper shape" vs "measured shape" mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class Experiment:
+    """One paper figure/challenge reproduced as a table of rows."""
+
+    exp_id: str
+    title: str
+    paper_claim: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.exp_id}: row has {len(values)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> list[Any]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        from .reporting import render_table
+
+        lines = [
+            f"== {self.exp_id}: {self.title} ==",
+            f"paper claim: {self.paper_claim}",
+            render_table(self.columns, self.rows),
+        ]
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())

@@ -1,0 +1,33 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(columns: list[str], rows: list[list[Any]]) -> str:
+    """Render an aligned ASCII table."""
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(col) for col in columns]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in formatted
+    ]
+    return "\n".join([header, rule] + body)

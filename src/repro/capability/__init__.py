@@ -1,0 +1,49 @@
+"""Capability systems: the push-model architectures of paper Fig. 2.
+
+CAS-style (SAML capability assertions carrying authorisation decisions)
+and VOMS-style (X.509 attribute certificates carrying FQANs), plus the
+PEP-side verifier/enforcer that makes the final provider-side decision.
+"""
+
+from .cas import (
+    CAPABILITY_LIFETIME,
+    CapabilityRequest,
+    CommunityAuthorizationService,
+    capability_from_payload,
+)
+from .tokens import (
+    CAPABILITY_SCOPE_ATTR,
+    CAPABILITY_VO_ATTR,
+    CapabilityEnforcer,
+    CapabilityScope,
+    CapabilityVerifier,
+    VerificationOutcome,
+)
+from .voms import (
+    AC_LIFETIME,
+    Fqan,
+    SUBJECT_FQAN,
+    VOMS_EXTENSION,
+    VomsService,
+    extract_fqans,
+    request_with_fqans,
+)
+
+__all__ = [
+    "AC_LIFETIME",
+    "CAPABILITY_LIFETIME",
+    "CAPABILITY_SCOPE_ATTR",
+    "CAPABILITY_VO_ATTR",
+    "CapabilityEnforcer",
+    "CapabilityRequest",
+    "CapabilityScope",
+    "CapabilityVerifier",
+    "CommunityAuthorizationService",
+    "Fqan",
+    "SUBJECT_FQAN",
+    "VOMS_EXTENSION",
+    "VomsService",
+    "capability_from_payload",
+    "extract_fqans",
+    "request_with_fqans",
+]

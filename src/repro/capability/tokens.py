@@ -1,0 +1,188 @@
+"""Capability tokens and their PEP-side verification/enforcement.
+
+In the capability-issuing (push) architecture of Fig. 2, "the subject,
+which requested capabilities, can include them, typically in form of
+assertions, in business service calls.  Such assertion is then extracted
+on the service side and validated for its integrity and authenticity.
+Only then the enforcement point checks whether the capability is
+sufficient" — and, per the paper, "the resource provider still makes the
+final access control decision", so the enforcer supports an optional
+local policy engine for provider-side restrictions on top of the
+capability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..components.pep import EnforcementResult, PolicyEnforcementPoint
+from ..saml.assertions import (
+    AssertionError_,
+    SignedAssertion,
+    validate_assertion,
+)
+from ..wss.keys import KeyStore
+from ..wss.pki import TrustValidator
+from ..xacml.context import Decision, RequestContext, Status, StatusCode
+from ..xacml.engine import PdpEngine
+
+#: SAML attribute names used inside capability assertions.
+CAPABILITY_SCOPE_ATTR = "urn:repro:capability:scope"
+CAPABILITY_VO_ATTR = "urn:repro:capability:vo"
+
+
+@dataclass(frozen=True)
+class CapabilityScope:
+    """One (resource, action) pair a capability covers."""
+
+    resource_id: str
+    action_id: str
+
+    def encode(self) -> str:
+        return f"{self.action_id}@{self.resource_id}"
+
+    @classmethod
+    def decode(cls, text: str) -> "CapabilityScope":
+        action_id, _, resource_id = text.partition("@")
+        if not action_id or not resource_id:
+            raise ValueError(f"bad capability scope {text!r}")
+        return cls(resource_id=resource_id, action_id=action_id)
+
+
+@dataclass(frozen=True)
+class VerificationOutcome:
+    ok: bool
+    reason: str = ""
+
+
+class CapabilityVerifier:
+    """Relying-party verification of SAML capability assertions.
+
+    Checks, in order: signature + issuer trust chain (PKI), validity
+    window, audience restriction, issuer allow-list, and scope coverage.
+    """
+
+    def __init__(
+        self,
+        keystore: KeyStore,
+        validator: TrustValidator,
+        audience: Optional[str] = None,
+        accepted_issuers: Optional[set[str]] = None,
+    ) -> None:
+        self.keystore = keystore
+        self.validator = validator
+        self.audience = audience
+        self.accepted_issuers = accepted_issuers
+        self.verifications = 0
+        self.rejections = 0
+
+    def verify(
+        self,
+        capability: SignedAssertion,
+        subject_id: str,
+        resource_id: str,
+        action_id: str,
+        at: float,
+    ) -> VerificationOutcome:
+        self.verifications += 1
+        try:
+            assertion = validate_assertion(
+                capability,
+                self.keystore,
+                self.validator,
+                at=at,
+                expected_audience=self.audience,
+            )
+        except AssertionError_ as exc:
+            self.rejections += 1
+            return VerificationOutcome(ok=False, reason=str(exc))
+        if (
+            self.accepted_issuers is not None
+            and assertion.issuer not in self.accepted_issuers
+        ):
+            self.rejections += 1
+            return VerificationOutcome(
+                ok=False,
+                reason=f"issuer {assertion.issuer!r} not accepted here",
+            )
+        if assertion.subject_id != subject_id:
+            self.rejections += 1
+            return VerificationOutcome(
+                ok=False,
+                reason=(
+                    f"capability subject {assertion.subject_id!r} does not "
+                    f"match caller {subject_id!r}"
+                ),
+            )
+        wanted = CapabilityScope(resource_id, action_id)
+        # Scope can be carried as an AuthzDecisionStatement (CAS style) or
+        # as scope attributes; accept either encoding.
+        if assertion.decision_for(resource_id, action_id) == "Permit":
+            return VerificationOutcome(ok=True)
+        scopes = {
+            CapabilityScope.decode(text)
+            for text in assertion.attribute_values(CAPABILITY_SCOPE_ATTR)
+        }
+        if wanted in scopes:
+            return VerificationOutcome(ok=True)
+        self.rejections += 1
+        return VerificationOutcome(
+            ok=False,
+            reason=f"capability does not cover {wanted.encode()!r}",
+        )
+
+
+class CapabilityEnforcer:
+    """Push-model enforcement wrapper around a PEP.
+
+    The enforcer never contacts a PDP: the capability *is* the decision.
+    An optional ``local_engine`` lets the resource provider impose its own
+    restrictions on top (the paper's "resource providers may impose their
+    own restrictions on access requests"): a local Deny vetoes the
+    capability; NotApplicable/Permit lets it stand.
+    """
+
+    def __init__(
+        self,
+        pep: PolicyEnforcementPoint,
+        verifier: CapabilityVerifier,
+        local_engine: Optional[PdpEngine] = None,
+    ) -> None:
+        self.pep = pep
+        self.verifier = verifier
+        self.local_engine = local_engine
+
+    def authorize(
+        self,
+        capability: SignedAssertion,
+        subject_id: str,
+        resource_id: str,
+        action_id: str,
+    ) -> EnforcementResult:
+        self.pep.enforcements += 1
+        outcome = self.verifier.verify(
+            capability, subject_id, resource_id, action_id, at=self.pep.now
+        )
+        if not outcome.ok:
+            self.pep.denials += 1
+            return EnforcementResult(
+                decision=Decision.DENY,
+                source="capability",
+                status=Status(
+                    code=StatusCode.PROCESSING_ERROR, message=outcome.reason
+                ),
+                detail=outcome.reason,
+            )
+        if self.local_engine is not None:
+            request = RequestContext.simple(subject_id, resource_id, action_id)
+            local = self.local_engine.decide(request, current_time=self.pep.now)
+            if local is Decision.DENY:
+                self.pep.denials += 1
+                return EnforcementResult(
+                    decision=Decision.DENY,
+                    source="capability",
+                    detail="local provider policy vetoed the capability",
+                )
+        self.pep.grants += 1
+        return EnforcementResult(decision=Decision.PERMIT, source="capability")

@@ -1,0 +1,192 @@
+"""Virtual Organization Membership Service (VOMS-style attribute certs).
+
+"The VOMS system uses extended X.509 certificates" for capability
+encoding (paper §2.2), and "both solutions differ with respect to the
+format of the capabilities that are issued and the granularity of
+capability-enriched access requests": where CAS issues per-(resource,
+action) decisions, VOMS issues *attributes* — VO membership, groups,
+roles — as certificate extensions, and the resource side maps those to
+rights with its own policies.
+
+Fully-qualified attribute names (FQANs) follow the real VOMS shape:
+``/vo-name/group[/Role=role]``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..components.base import Component, ComponentIdentity, RpcFault
+from ..simnet.message import Message
+from ..simnet.network import Network
+from ..wss.keys import KeyStore
+from ..wss.pki import Certificate, CertificateError, TrustValidator
+from ..xacml.attributes import Attribute, Category, string
+from ..xacml.context import RequestContext
+
+#: Certificate extension key carrying FQANs.
+VOMS_EXTENSION = "vomsFqans"
+#: Default attribute-certificate lifetime (simulated seconds).
+AC_LIFETIME = 12 * 3600.0
+
+#: XACML attribute id the resource side maps FQANs onto.
+SUBJECT_FQAN = "urn:repro:subject:fqan"
+
+
+@dataclass(frozen=True)
+class Fqan:
+    """A fully-qualified attribute name: VO, group path, optional role."""
+
+    vo: str
+    group: str = ""
+    role: str = ""
+
+    def encode(self) -> str:
+        text = f"/{self.vo}"
+        if self.group:
+            text += f"/{self.group}"
+        if self.role:
+            text += f"/Role={self.role}"
+        return text
+
+    @classmethod
+    def decode(cls, text: str) -> "Fqan":
+        match = re.match(r"^/([^/]+)(?:/((?:(?!Role=)[^/])+))?(?:/Role=(.+))?$", text)
+        if match is None:
+            raise ValueError(f"bad FQAN {text!r}")
+        return cls(
+            vo=match.group(1),
+            group=match.group(2) or "",
+            role=match.group(3) or "",
+        )
+
+
+class VomsService(Component):
+    """Issues VOMS-style attribute certificates.
+
+    Membership is registered per subject as a list of FQANs; the
+    ``voms.request`` operation returns an attribute certificate — an
+    X.509 certificate issued by the VOMS CA whose extensions carry the
+    FQANs and the holder binding.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        domain: str,
+        identity: ComponentIdentity,
+        vo_name: str,
+        ac_lifetime: float = AC_LIFETIME,
+    ) -> None:
+        super().__init__(name, network, domain, identity)
+        self.vo_name = vo_name
+        self.ac_lifetime = ac_lifetime
+        self._memberships: dict[str, list[Fqan]] = {}
+        self.acs_issued = 0
+        self.on("voms.request", self._handle_request)
+        # The service signs ACs with its component key; relying parties
+        # validate through the CA that certified the service.  We mint ACs
+        # via a dedicated issuing authority bound to the same key.
+        from ..wss.pki import CertificateAuthority
+
+        self._issuing_ca = CertificateAuthority.__new__(CertificateAuthority)
+        self._issuing_ca.name = identity.name
+        self._issuing_ca.keystore = identity.keystore
+        self._issuing_ca.parent = None
+        self._issuing_ca.keypair = identity.keypair
+        self._issuing_ca._revoked = set()
+        self._issuing_ca.certificate = identity.certificate
+
+    @property
+    def issuing_authority(self):
+        """The CA relying parties must register to validate ACs."""
+        return self._issuing_ca
+
+    # -- membership management ---------------------------------------------------------
+
+    def enroll(self, subject_id: str, fqan: Fqan) -> None:
+        if fqan.vo != self.vo_name:
+            raise ValueError(
+                f"FQAN VO {fqan.vo!r} does not match service VO {self.vo_name!r}"
+            )
+        self._memberships.setdefault(subject_id, []).append(fqan)
+
+    def expel(self, subject_id: str) -> None:
+        self._memberships.pop(subject_id, None)
+
+    def membership(self, subject_id: str) -> list[Fqan]:
+        return list(self._memberships.get(subject_id, []))
+
+    # -- issuing --------------------------------------------------------------------------
+
+    def issue_attribute_certificate(self, subject_id: str) -> Certificate:
+        fqans = self._memberships.get(subject_id)
+        if not fqans:
+            raise RpcFault(
+                "voms:not-a-member",
+                f"{subject_id!r} holds no membership in VO {self.vo_name!r}",
+            )
+        holder_key = self.identity.keystore.generate(
+            label=f"voms-ac:{subject_id}:{self.acs_issued}"
+        )
+        self.acs_issued += 1
+        return self._issuing_ca.issue(
+            subject=subject_id,
+            public_key=holder_key.public,
+            not_before=self.now,
+            lifetime=self.ac_lifetime,
+            extensions=(
+                (VOMS_EXTENSION, ",".join(f.encode() for f in fqans)),
+                ("vo", self.vo_name),
+            ),
+        )
+
+    def _handle_request(self, message: Message) -> object:
+        certificate = self.issue_attribute_certificate(str(message.payload))
+        return certificate
+
+
+def extract_fqans(
+    certificate: Certificate,
+    keystore: KeyStore,
+    validator: TrustValidator,
+    at: float,
+) -> list[Fqan]:
+    """Relying-party side: validate the AC chain and read its FQANs.
+
+    Raises:
+        CertificateError: chain invalid, expired or revoked.
+        ValueError: the certificate carries no VOMS extension.
+    """
+    validator.validate(certificate, at=at)
+    raw = certificate.extension(VOMS_EXTENSION)
+    if raw is None:
+        raise ValueError(
+            f"certificate for {certificate.subject!r} has no VOMS extension"
+        )
+    return [Fqan.decode(token) for token in raw.split(",") if token]
+
+
+def request_with_fqans(
+    subject_id: str,
+    resource_id: str,
+    action_id: str,
+    fqans: list[Fqan],
+) -> RequestContext:
+    """Build a request context carrying FQANs as subject attributes.
+
+    This is the bridge from VOMS attributes to the XACML engine: the
+    resource side writes policies against ``SUBJECT_FQAN``.
+    """
+    request = RequestContext.simple(subject_id, resource_id, action_id)
+    if fqans:
+        request.add(
+            Category.SUBJECT,
+            Attribute(
+                SUBJECT_FQAN, tuple(string(f.encode()) for f in fqans)
+            ),
+        )
+    return request

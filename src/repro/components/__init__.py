@@ -1,0 +1,108 @@
+"""The four policy-based authorisation components (paper §2.2).
+
+PEP enforces, PDP decides, PAP administers, PIP informs.  All are
+network-attached :class:`~repro.components.base.Component` subclasses that
+exchange real XML over the simulated network, plus the TTL caches and the
+context handler the architecture calls for.
+"""
+
+from .base import (
+    Component,
+    ComponentIdentity,
+    DEFAULT_TIMEOUT,
+    RpcFault,
+    RpcTimeout,
+)
+from .cache import CacheStats, TtlCache
+from .obligations import (
+    AUDIT_OBLIGATION,
+    ENCRYPT_RESPONSE_OBLIGATION,
+    NOTIFY_OBLIGATION,
+    ObligationAuditTrail,
+    QUOTA_OBLIGATION,
+    QuotaLedger,
+    WATERMARK_OBLIGATION,
+    audit_handler,
+    encrypt_response_handler,
+    notify_handler,
+    quota_handler,
+    register_standard_handlers,
+)
+from .context_handler import (
+    ContextHandlerError,
+    from_http_request,
+    from_soap_call,
+    with_environment_time,
+)
+from .pap import (
+    PolicyAdministrationPoint,
+    PolicyRepository,
+    parse_bundle,
+    parse_revision,
+    serialize_bundle,
+)
+from .pdp import (
+    PdpConfig,
+    PolicyDecisionPoint,
+    QUERY_ACTION,
+    SECURE_QUERY_ACTION,
+)
+from .pep import (
+    EnforcementResult,
+    ObligationHandler,
+    PepConfig,
+    PolicyEnforcementPoint,
+)
+from .pip import (
+    AttributeStore,
+    PolicyInformationPoint,
+    parse_pip_query,
+    parse_pip_response,
+    serialize_pip_query,
+    serialize_pip_response,
+)
+
+__all__ = [
+    "AUDIT_OBLIGATION",
+    "AttributeStore",
+    "CacheStats",
+    "ENCRYPT_RESPONSE_OBLIGATION",
+    "NOTIFY_OBLIGATION",
+    "ObligationAuditTrail",
+    "QUOTA_OBLIGATION",
+    "QuotaLedger",
+    "WATERMARK_OBLIGATION",
+    "audit_handler",
+    "encrypt_response_handler",
+    "notify_handler",
+    "quota_handler",
+    "register_standard_handlers",
+    "Component",
+    "ComponentIdentity",
+    "ContextHandlerError",
+    "DEFAULT_TIMEOUT",
+    "EnforcementResult",
+    "ObligationHandler",
+    "PdpConfig",
+    "PepConfig",
+    "PolicyAdministrationPoint",
+    "PolicyDecisionPoint",
+    "PolicyEnforcementPoint",
+    "PolicyInformationPoint",
+    "PolicyRepository",
+    "QUERY_ACTION",
+    "RpcFault",
+    "RpcTimeout",
+    "SECURE_QUERY_ACTION",
+    "TtlCache",
+    "from_http_request",
+    "from_soap_call",
+    "parse_bundle",
+    "parse_pip_query",
+    "parse_pip_response",
+    "parse_revision",
+    "serialize_bundle",
+    "serialize_pip_query",
+    "serialize_pip_response",
+    "with_environment_time",
+]

@@ -1,0 +1,150 @@
+"""TTL caches for decisions and policies.
+
+The paper's communication-performance analysis (Section 3.2) proposes
+caching at two places: "Enforcement points may cache decisions made by
+decision points.  Additionally, decision points may cache policies that
+they would normally retrieve from administration points."  It also names
+the cost: stale entries "may result in false positive or false negative
+access control decisions", mitigated by time constraints on validity.
+
+:class:`TtlCache` implements exactly that: time-bounded entries on the
+*simulated* clock, LRU capacity eviction, explicit invalidation, and
+counters that experiments E5/E6 read (hits, misses, expirations,
+stale-serve opportunities).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Hashable, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "expirations": self.expirations,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_ratio": round(self.hit_ratio, 4),
+        }
+
+
+@dataclass
+class _Entry(Generic[V]):
+    value: V
+    stored_at: float
+    expires_at: float
+
+
+class TtlCache(Generic[K, V]):
+    """A TTL + LRU cache driven by an external clock function.
+
+    Args:
+        ttl: entry lifetime in simulated seconds; 0 disables caching
+            entirely (every ``get`` is a miss), which experiments use as
+            the no-cache baseline.
+        capacity: maximum entries before LRU eviction.
+        clock: callable returning the current simulated time.
+    """
+
+    def __init__(
+        self,
+        ttl: float,
+        clock: Callable[[], float],
+        capacity: int = 10_000,
+    ) -> None:
+        if ttl < 0:
+            raise ValueError(f"ttl must be >= 0, got {ttl}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.ttl = ttl
+        self.capacity = capacity
+        self._clock = clock
+        self._entries: OrderedDict[K, _Entry[V]] = OrderedDict()
+        self.stats = CacheStats()
+
+    @property
+    def enabled(self) -> bool:
+        return self.ttl > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: K) -> Optional[V]:
+        """Return the cached value, or None on miss/expiry."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if self._clock() >= entry.expires_at:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.value
+
+    def put(self, key: K, value: V) -> None:
+        if not self.enabled:
+            return
+        now = self._clock()
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = _Entry(
+            value=value, stored_at=now, expires_at=now + self.ttl
+        )
+
+    def invalidate(self, key: K) -> bool:
+        """Remove one entry; returns True if it was present."""
+        if key in self._entries:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def invalidate_where(self, predicate: Callable[[K], bool]) -> int:
+        """Remove all entries whose key satisfies ``predicate``."""
+        victims = [key for key in self._entries if predicate(key)]
+        for key in victims:
+            del self._entries[key]
+        self.stats.invalidations += len(victims)
+        return len(victims)
+
+    def clear(self) -> None:
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def age_of(self, key: K) -> Optional[float]:
+        """Age in seconds of a (non-expired) entry, for staleness studies."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        return self._clock() - entry.stored_at

@@ -1,0 +1,176 @@
+"""A library of ready-made obligation handlers for PEPs.
+
+The paper (§2.3) makes obligations the mechanism for "parameterised
+actions in the policy enforcement stage" — e.g. "resources should be
+encrypted before being provisioned to the client and the strength of such
+encryption must depend on attributes of the client".  Because "XACML does
+not specify how policy obligations should be defined", deployments need a
+bilateral vocabulary; this module is that vocabulary for the repo: the
+obligation ids, their parameters and handler factories PEPs can register
+out of the box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..xacml.context import Obligation, RequestContext
+
+#: Standard obligation identifiers (the bilateral agreement).
+AUDIT_OBLIGATION = "urn:repro:obligation:audit"
+NOTIFY_OBLIGATION = "urn:repro:obligation:notify"
+ENCRYPT_RESPONSE_OBLIGATION = "urn:repro:obligation:encrypt-response"
+QUOTA_OBLIGATION = "urn:repro:obligation:quota"
+WATERMARK_OBLIGATION = "urn:repro:obligation:watermark"
+
+
+@dataclass
+class ObligationAuditTrail:
+    """Sink for audit/watermark/notify obligations (test- and demo-friendly)."""
+
+    entries: list[tuple[str, str, str, str]] = field(default_factory=list)
+
+    def add(self, kind: str, subject: str, resource: str, detail: str) -> None:
+        self.entries.append((kind, subject, resource, detail))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def audit_handler(trail: ObligationAuditTrail):
+    """Record every enforcement the policy marked for audit.
+
+    Obligation parameters: ``level`` (optional, e.g. "info"/"sensitive").
+    """
+
+    def handle(obligation: Obligation, request: RequestContext) -> bool:
+        level = obligation.assignment("level")
+        trail.add(
+            "audit",
+            request.subject_id or "",
+            request.resource_id or "",
+            str(level.value) if level is not None else "default",
+        )
+        return True
+
+    return handle
+
+
+def notify_handler(
+    send: Callable[[str, str], None],
+):
+    """Notify a configured recipient of the access.
+
+    Obligation parameters: ``recipient`` (required) — where the
+    notification goes, e.g. a data-owner mailbox or a SIEM topic.
+    """
+
+    def handle(obligation: Obligation, request: RequestContext) -> bool:
+        recipient = obligation.assignment("recipient")
+        if recipient is None:
+            return False  # malformed obligation: fail closed
+        send(
+            str(recipient.value),
+            f"{request.subject_id} {request.action_id} {request.resource_id}",
+        )
+        return True
+
+    return handle
+
+
+def encrypt_response_handler(
+    encrypt: Callable[[str, str], bool],
+    minimum_strength: Optional[str] = None,
+):
+    """The paper's canonical example: encrypt before provisioning.
+
+    Obligation parameters: ``strength`` (required, e.g. "standard",
+    "high").  ``encrypt(resource_id, strength)`` performs the actual
+    protection and reports success; when ``minimum_strength`` is set, any
+    obligation demanding less fails closed (misconfigured policy).
+    """
+    ranking = {"standard": 0, "high": 1, "maximum": 2}
+
+    def handle(obligation: Obligation, request: RequestContext) -> bool:
+        strength = obligation.assignment("strength")
+        if strength is None:
+            return False
+        strength_name = str(strength.value)
+        if (
+            minimum_strength is not None
+            and ranking.get(strength_name, -1) < ranking.get(minimum_strength, 99)
+        ):
+            return False
+        return encrypt(request.resource_id or "", strength_name)
+
+    return handle
+
+
+@dataclass
+class QuotaLedger:
+    """Per-subject access budgets backing the quota obligation."""
+
+    limits: dict[str, int] = field(default_factory=dict)
+    used: dict[str, int] = field(default_factory=dict)
+
+    def set_limit(self, subject_id: str, limit: int) -> None:
+        self.limits[subject_id] = limit
+
+    def consume(self, subject_id: str) -> bool:
+        limit = self.limits.get(subject_id)
+        if limit is None:
+            return False  # no budget configured: fail closed
+        spent = self.used.get(subject_id, 0)
+        if spent >= limit:
+            return False
+        self.used[subject_id] = spent + 1
+        return True
+
+    def remaining(self, subject_id: str) -> int:
+        return max(0, self.limits.get(subject_id, 0) - self.used.get(subject_id, 0))
+
+
+def quota_handler(ledger: QuotaLedger):
+    """Debit one unit from the subject's budget; deny once exhausted."""
+
+    def handle(obligation: Obligation, request: RequestContext) -> bool:
+        return ledger.consume(request.subject_id or "")
+
+    return handle
+
+
+def register_standard_handlers(
+    pep,
+    trail: Optional[ObligationAuditTrail] = None,
+    ledger: Optional[QuotaLedger] = None,
+) -> tuple[ObligationAuditTrail, QuotaLedger]:
+    """Wire the whole standard vocabulary into a PEP in one call.
+
+    Returns the (trail, ledger) in use so callers can inspect them.
+    The encrypt/notify handlers get no-op-but-recorded implementations,
+    which is the right default for simulations; production embedders pass
+    their own via the individual factories.
+    """
+    trail = trail if trail is not None else ObligationAuditTrail()
+    ledger = ledger if ledger is not None else QuotaLedger()
+    pep.register_obligation_handler(AUDIT_OBLIGATION, audit_handler(trail))
+    pep.register_obligation_handler(WATERMARK_OBLIGATION, audit_handler(trail))
+    pep.register_obligation_handler(
+        NOTIFY_OBLIGATION,
+        notify_handler(lambda recipient, event: trail.add(
+            "notify", recipient, "", event
+        )),
+    )
+    pep.register_obligation_handler(
+        ENCRYPT_RESPONSE_OBLIGATION,
+        encrypt_response_handler(
+            lambda resource, strength: trail.add(
+                "encrypt", "", resource, strength
+            )
+            is None
+            or True
+        ),
+    )
+    pep.register_obligation_handler(QUOTA_OBLIGATION, quota_handler(ledger))
+    return trail, ledger

@@ -1,0 +1,240 @@
+"""Policy Decision Point: evaluation service over the network.
+
+"Evaluates access request decision queries issued by enforcement points.
+PDP has access to the set of policies and evaluates access requests
+against applicable policies" (paper §2.2).  This component wraps the
+:class:`~repro.xacml.engine.PdpEngine` with everything the paper's
+architecture adds around it:
+
+* **policy retrieval** from a PAP, with a TTL'd policy cache and an
+  optional cheap revision probe (the caching the paper proposes for
+  decision points, experiment E6);
+* **PIP attribute resolution** over the network during evaluation;
+* **mutually authenticated queries**: signed queries are verified before
+  evaluation — "decision points should only reveal decisions on authentic
+  access request decision queries.  Otherwise, they can leak information
+  about access control policies" (paper §3.2) — and responses are signed
+  so PEPs can verify their origin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..simnet.message import Message
+from ..saml.xacml_profile import XacmlAuthzDecisionQuery, XacmlAuthzDecisionStatement
+from ..simnet.network import Network
+from ..wsvc.soap import SoapEnvelope
+from ..wsvc.ws_security import (
+    SecurityConfig,
+    WsSecurityError,
+    secure_envelope,
+    signer_of,
+    verify_envelope,
+)
+from ..xacml.attributes import AttributeValue, Category, DataType
+from ..xacml.context import Decision, RequestContext, ResponseContext, Status, StatusCode
+from ..xacml.engine import EngineResponse, PdpEngine, PolicyStore
+from .base import Component, ComponentIdentity, RpcFault, RpcTimeout
+from .pap import parse_bundle, parse_revision
+from .pip import parse_pip_response, serialize_pip_query
+
+QUERY_ACTION = "xacml.request"
+SECURE_QUERY_ACTION = "xacml.request.secure"
+
+
+@dataclass
+class PdpConfig:
+    """Tunables for a decision point."""
+
+    #: How long fetched policies stay fresh (simulated seconds); 0 means
+    #: re-fetch on every decision (the no-cache baseline of E6).
+    policy_cache_ttl: float = 30.0
+    #: "probe" asks the PAP for its revision first and only re-fetches the
+    #: bundle on change; "full" always re-fetches when stale.
+    refresh_mode: str = "probe"
+    #: Require WS-Security-signed queries (mutual authentication).
+    require_signed_queries: bool = False
+    #: Sign responses when an identity is configured.
+    sign_responses: bool = True
+    indexed_store: bool = True
+
+
+class PolicyDecisionPoint(Component):
+    """Network-attached PDP."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        domain: str = "",
+        identity: Optional[ComponentIdentity] = None,
+        pap_address: Optional[str] = None,
+        pip_addresses: Optional[list[str]] = None,
+        config: Optional[PdpConfig] = None,
+    ) -> None:
+        super().__init__(name, network, domain, identity)
+        self.config = config if config is not None else PdpConfig()
+        self.engine = PdpEngine(PolicyStore(indexed=self.config.indexed_store))
+        self.pap_address = pap_address
+        self.pip_addresses = list(pip_addresses or [])
+        self._policies_fetched_at: Optional[float] = None
+        self._cached_revision: Optional[int] = None
+        self.decisions_made = 0
+        self.pip_queries_sent = 0
+        self.policy_fetches = 0
+        self.revision_probes = 0
+        self.rejected_queries = 0
+        self.on(QUERY_ACTION, self._handle_query)
+        self.on(SECURE_QUERY_ACTION, self._handle_secure_query)
+
+    # -- policy management ------------------------------------------------------
+
+    def add_local_policy(self, element) -> None:
+        """Install a policy directly (bypasses the PAP; tests/local use)."""
+        self.engine.store.add(element)
+
+    def _ensure_policies(self) -> None:
+        """Refresh the policy store from the PAP when the cache is stale."""
+        if self.pap_address is None:
+            return
+        fresh = (
+            self._policies_fetched_at is not None
+            and self.config.policy_cache_ttl > 0
+            and self.now - self._policies_fetched_at < self.config.policy_cache_ttl
+        )
+        if fresh:
+            return
+        if self.config.refresh_mode == "probe" and self._cached_revision is not None:
+            reply = self.call(self.pap_address, "pap.revision", "<PapQuery/>")
+            self.revision_probes += 1
+            revision = parse_revision(str(reply.payload))
+            if revision == self._cached_revision:
+                self._policies_fetched_at = self.now
+                return
+        reply = self.call(self.pap_address, "pap.retrieve", "<PapQuery scope=\"all\"/>")
+        self.policy_fetches += 1
+        elements, revision = parse_bundle(str(reply.payload))
+        store = PolicyStore(indexed=self.config.indexed_store)
+        for element in elements:
+            store.add(element)
+        self.engine.store = store
+        self._cached_revision = revision
+        self._policies_fetched_at = self.now
+
+    def invalidate_policy_cache(self) -> None:
+        self._policies_fetched_at = None
+
+    def subscribe_to_policy_changes(self) -> None:
+        """Subscribe to the configured PAP's change notifications.
+
+        On each change the policy cache is invalidated so the next
+        decision re-fetches — revocations propagate within one decision
+        instead of one TTL.
+        """
+        if self.pap_address is None:
+            raise ValueError(f"PDP {self.name} has no PAP to subscribe to")
+        self.on("pap.changed", self._handle_policy_changed)
+        self.call(self.pap_address, "pap.subscribe", "<Subscribe/>")
+
+    def _handle_policy_changed(self, message: Message) -> None:
+        self.invalidate_policy_cache()
+        return None
+
+    # -- attribute resolution ------------------------------------------------------
+
+    def _attribute_finder_for(self, request: RequestContext):
+        if not self.pip_addresses:
+            return None
+
+        def finder(
+            category: Category, attribute_id: str, data_type: DataType
+        ) -> list[AttributeValue]:
+            if category is Category.SUBJECT:
+                about = request.subject_id or ""
+            elif category is Category.RESOURCE:
+                about = request.resource_id or ""
+            else:
+                about = ""
+            query = serialize_pip_query(category, attribute_id, about, data_type)
+            for pip_address in self.pip_addresses:
+                try:
+                    reply = self.call(pip_address, "pip.query", query)
+                except (RpcTimeout, RpcFault):
+                    continue
+                self.pip_queries_sent += 1
+                values = parse_pip_response(str(reply.payload))
+                if values:
+                    return values
+            return []
+
+        return finder
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def evaluate(self, request: RequestContext) -> EngineResponse:
+        """Evaluate locally (the engine call every query path funnels into)."""
+        self._ensure_policies()
+        self.engine.attribute_finder = self._attribute_finder_for(request)
+        self.decisions_made += 1
+        return self.engine.evaluate(request, current_time=self.now)
+
+    # -- message handlers ---------------------------------------------------------------
+
+    def _handle_query(self, message: Message) -> str:
+        if self.config.require_signed_queries:
+            self.rejected_queries += 1
+            raise RpcFault(
+                "pdp:authentication-required",
+                "this PDP only answers signed queries",
+            )
+        query = XacmlAuthzDecisionQuery.from_xml(str(message.payload))
+        engine_response = self.evaluate(query.request)
+        statement = XacmlAuthzDecisionStatement(
+            response=engine_response.response,
+            in_response_to=query.query_id,
+            issuer=self.name,
+            issue_instant=self.now,
+            request_echo=query.request if query.return_context else None,
+        )
+        return statement.to_xml()
+
+    def _handle_secure_query(self, message: Message) -> SoapEnvelope:
+        envelope = message.payload
+        if not isinstance(envelope, SoapEnvelope):
+            raise RpcFault("pdp:bad-request", "expected a SOAP envelope")
+        if self.identity is None:
+            raise RpcFault("pdp:misconfigured", "secure endpoint without identity")
+        try:
+            clear = verify_envelope(
+                envelope,
+                self.identity.keystore,
+                self.identity.validator,
+                decrypt_with=self.identity.keypair,
+                config=SecurityConfig(require_signature=True),
+                at=self.now,
+            )
+        except WsSecurityError as exc:
+            self.rejected_queries += 1
+            raise RpcFault("pdp:authentication-failed", str(exc)) from exc
+        query = XacmlAuthzDecisionQuery.from_xml(clear.body_xml)
+        engine_response = self.evaluate(query.request)
+        statement = XacmlAuthzDecisionStatement(
+            response=engine_response.response,
+            in_response_to=query.query_id,
+            issuer=self.name,
+            issue_instant=self.now,
+            request_echo=query.request if query.return_context else None,
+        )
+        reply = SoapEnvelope(
+            action=f"{SECURE_QUERY_ACTION}:result", body_xml=statement.to_xml()
+        )
+        if self.config.sign_responses:
+            reply = secure_envelope(
+                reply,
+                self.identity.keypair,
+                self.identity.certificate,
+                self.identity.keystore,
+            )
+        return reply

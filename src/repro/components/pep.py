@@ -1,0 +1,284 @@
+"""Policy Enforcement Point: the guard in front of every resource.
+
+"The PEP component ... creates a barrier around the resource it protects
+and mediates all accesses to this resource.  It conforms to decisions
+that are made by other components" (paper §2.2).  The implementation
+covers the architectural duties Section 3 assigns to enforcement points:
+
+* querying a PDP (pull model) with optional WS-Security mutual
+  authentication, verifying that responses really come from the trusted
+  decision point;
+* **decision caching** with TTL (paper §3.2 communication performance;
+  experiment E6 measures both the savings and the staleness risk);
+* **obligation enforcement**: registered handlers run before access is
+  granted; an obligation the PEP does not understand forces Deny
+  (XACML §7.14);
+* **fail-safe enforcement**: if no PDP can be reached the PEP denies
+  rather than failing open (configurable, experiments E10/E11);
+* a hook for capability-based (push-model) validation, used by
+  :mod:`repro.capability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..saml.xacml_profile import XacmlAuthzDecisionQuery, XacmlAuthzDecisionStatement
+from ..simnet.network import Network
+from ..wsvc.soap import SoapEnvelope
+from ..wsvc.ws_security import (
+    SecurityConfig,
+    WsSecurityError,
+    secure_envelope,
+    signer_of,
+    verify_envelope,
+)
+from ..xacml.context import (
+    Decision,
+    Obligation,
+    RequestContext,
+    Status,
+    StatusCode,
+)
+from .base import Component, ComponentIdentity, RpcFault, RpcTimeout
+from .cache import TtlCache
+from .pdp import QUERY_ACTION, SECURE_QUERY_ACTION
+
+#: Obligation handler: receives the obligation and the request, performs
+#: the action, returns True when fulfilled.
+ObligationHandler = Callable[[Obligation, RequestContext], bool]
+
+
+@dataclass
+class PepConfig:
+    #: Decision cache TTL in simulated seconds; 0 disables the cache.
+    decision_cache_ttl: float = 0.0
+    decision_cache_capacity: int = 10_000
+    #: Sign queries / verify response signatures (mutual authentication).
+    secure_channel: bool = False
+    #: Deny when no decision can be obtained (fail-safe); False would
+    #: fail open, which no experiment enables but tests cover.
+    deny_on_failure: bool = True
+    #: RPC deadline towards the PDP.
+    pdp_timeout: float = 2.0
+
+
+@dataclass(frozen=True)
+class EnforcementResult:
+    """What enforcement concluded, and why."""
+
+    decision: Decision
+    source: str  # "pdp" | "cache" | "capability" | "fail-safe" | "obligation"
+    obligations: tuple[Obligation, ...] = ()
+    status: Optional[Status] = None
+    detail: str = ""
+
+    @property
+    def granted(self) -> bool:
+        return self.decision is Decision.PERMIT
+
+
+class PolicyEnforcementPoint(Component):
+    """Network-attached PEP guarding one or more resources."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        domain: str = "",
+        identity: Optional[ComponentIdentity] = None,
+        pdp_address: Optional[str] = None,
+        config: Optional[PepConfig] = None,
+        pdp_selector: Optional[Callable[[], Optional[str]]] = None,
+    ) -> None:
+        super().__init__(name, network, domain, identity)
+        self.config = config if config is not None else PepConfig()
+        self.pdp_address = pdp_address
+        #: Dynamic PDP selection hook (discovery, replication router).
+        self.pdp_selector = pdp_selector
+        self.decision_cache: TtlCache = TtlCache(
+            ttl=self.config.decision_cache_ttl,
+            clock=lambda: self.now,
+            capacity=self.config.decision_cache_capacity,
+        )
+        self._obligation_handlers: dict[str, ObligationHandler] = {}
+        self.enforcements = 0
+        self.grants = 0
+        self.denials = 0
+        self.fail_safe_denials = 0
+        self.obligation_failures = 0
+
+    # -- obligations --------------------------------------------------------------
+
+    def register_obligation_handler(
+        self, obligation_id: str, handler: ObligationHandler
+    ) -> None:
+        self._obligation_handlers[obligation_id] = handler
+
+    def _fulfil_obligations(
+        self, obligations: tuple[Obligation, ...], request: RequestContext
+    ) -> Optional[str]:
+        """Run handlers; returns an error string when enforcement must deny."""
+        for obligation in obligations:
+            handler = self._obligation_handlers.get(obligation.obligation_id)
+            if handler is None:
+                return (
+                    f"obligation {obligation.obligation_id!r} not understood"
+                )
+            if not handler(obligation, request):
+                return f"obligation {obligation.obligation_id!r} failed"
+        return None
+
+    # -- the decision query (pull model) ----------------------------------------------
+
+    def _choose_pdp(self) -> Optional[str]:
+        if self.pdp_selector is not None:
+            chosen = self.pdp_selector()
+            if chosen is not None:
+                return chosen
+        return self.pdp_address
+
+    def _query_pdp(self, request: RequestContext) -> XacmlAuthzDecisionStatement:
+        pdp = self._choose_pdp()
+        if pdp is None:
+            raise RpcTimeout(self.name, "<none>", "no PDP configured", self.now)
+        query = XacmlAuthzDecisionQuery(
+            request=request, issuer=self.name, issue_instant=self.now
+        )
+        if self.config.secure_channel:
+            if self.identity is None:
+                raise ValueError(f"PEP {self.name} has no identity for secure mode")
+            envelope = SoapEnvelope(
+                action=SECURE_QUERY_ACTION, body_xml=query.to_xml()
+            )
+            envelope = secure_envelope(
+                envelope,
+                self.identity.keypair,
+                self.identity.certificate,
+                self.identity.keystore,
+            )
+            reply = self.call(
+                pdp, SECURE_QUERY_ACTION, envelope, timeout=self.config.pdp_timeout
+            )
+            reply_envelope = reply.payload
+            if not isinstance(reply_envelope, SoapEnvelope):
+                raise RpcFault("pep:bad-reply", "PDP returned non-SOAP payload")
+            clear = verify_envelope(
+                reply_envelope,
+                self.identity.keystore,
+                self.identity.validator,
+                decrypt_with=self.identity.keypair,
+                config=SecurityConfig(require_signature=True),
+                at=self.now,
+            )
+            if signer_of(clear) != pdp:
+                raise WsSecurityError(
+                    f"decision signed by {signer_of(clear)!r}, expected {pdp!r}"
+                )
+            return XacmlAuthzDecisionStatement.from_xml(clear.body_xml)
+        reply = self.call(
+            pdp, QUERY_ACTION, query.to_xml(), timeout=self.config.pdp_timeout
+        )
+        return XacmlAuthzDecisionStatement.from_xml(str(reply.payload))
+
+    # -- enforcement ----------------------------------------------------------------
+
+    def authorize(self, request: RequestContext) -> EnforcementResult:
+        """Full pull-model enforcement of one access request."""
+        self.enforcements += 1
+        cache_key = request.cache_key()
+        cached = self.decision_cache.get(cache_key)
+        if cached is not None:
+            result = self._enforce(
+                cached.response.decision,
+                tuple(cached.response.result.obligations),
+                request,
+                source="cache",
+            )
+            return result
+        try:
+            statement = self._query_pdp(request)
+        except (RpcTimeout, RpcFault, WsSecurityError) as exc:
+            if self.config.deny_on_failure:
+                self.fail_safe_denials += 1
+                self.denials += 1
+                return EnforcementResult(
+                    decision=Decision.DENY,
+                    source="fail-safe",
+                    status=Status(
+                        code=StatusCode.PROCESSING_ERROR, message=str(exc)
+                    ),
+                    detail=f"fail-safe deny: {exc}",
+                )
+            raise
+        self.decision_cache.put(cache_key, statement)
+        return self._enforce(
+            statement.response.decision,
+            tuple(statement.response.result.obligations),
+            request,
+            source="pdp",
+        )
+
+    def _enforce(
+        self,
+        decision: Decision,
+        obligations: tuple[Obligation, ...],
+        request: RequestContext,
+        source: str,
+    ) -> EnforcementResult:
+        if decision is Decision.PERMIT:
+            error = self._fulfil_obligations(obligations, request)
+            if error is not None:
+                self.obligation_failures += 1
+                self.denials += 1
+                return EnforcementResult(
+                    decision=Decision.DENY,
+                    source="obligation",
+                    obligations=obligations,
+                    detail=error,
+                )
+            self.grants += 1
+            return EnforcementResult(
+                decision=Decision.PERMIT, source=source, obligations=obligations
+            )
+        # Deny-side obligations still run (e.g. audit-on-deny), but cannot
+        # rescue the decision.
+        if decision is Decision.DENY:
+            self._fulfil_obligations(obligations, request)
+        self.denials += 1
+        return EnforcementResult(
+            decision=Decision.DENY if decision is Decision.DENY else decision,
+            source=source,
+            obligations=obligations,
+        )
+
+    def authorize_simple(
+        self, subject_id: str, resource_id: str, action_id: str
+    ) -> EnforcementResult:
+        return self.authorize(
+            RequestContext.simple(subject_id, resource_id, action_id)
+        )
+
+    def invalidate_cached_decisions(self) -> None:
+        """Drop all cached decisions (e.g. after a known policy change)."""
+        self.decision_cache.clear()
+
+    # -- revocation push (paper §3.2: caching vs revocation flexibility) ---------
+
+    def subscribe_to_policy_changes(self, pap_address: str) -> None:
+        """Subscribe to PAP change notifications; invalidate cache on each.
+
+        This is the mitigation beyond TTLs for the staleness problem the
+        paper describes: revocations reach cached decisions immediately at
+        the cost of one notification message per change per PEP
+        (experiment E6's 'TTL + invalidation push' row).
+        """
+        self.invalidations_received = getattr(self, "invalidations_received", 0)
+        self.on("pap.changed", self._handle_policy_changed)
+        self.call(pap_address, "pap.subscribe", "<Subscribe/>")
+
+    def _handle_policy_changed(self, message) -> None:
+        self.invalidations_received = getattr(self, "invalidations_received", 0) + 1
+        self.decision_cache.clear()
+        return None

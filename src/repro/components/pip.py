@@ -1,0 +1,162 @@
+"""Policy Information Point: attribute retrieval for decision making.
+
+"PIPs are used to provide information that can be used during evaluation
+of access requests.  They may gather attributes related to subjects,
+objects and the environment" (paper §2.2).  The PIP here is a
+network-attached attribute store: PDPs query it for attributes that the
+request context did not carry, paying a real (simulated) round-trip —
+the cost that makes attribute push-vs-pull trade-offs measurable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..simnet.message import Message
+from ..simnet.network import Network
+from ..xacml.attributes import AttributeValue, Category, DataType
+from .base import Component, ComponentIdentity
+
+EnvironmentProvider = Callable[[float], list[AttributeValue]]
+
+
+class AttributeStore:
+    """In-memory attribute database backing a PIP.
+
+    Subject and resource attributes are keyed by entity id; environment
+    attributes come from registered providers evaluated at query time
+    (e.g. current-time from the simulated clock).
+    """
+
+    def __init__(self) -> None:
+        self._subject: dict[str, dict[str, list[AttributeValue]]] = {}
+        self._resource: dict[str, dict[str, list[AttributeValue]]] = {}
+        self._environment: dict[str, EnvironmentProvider] = {}
+
+    def set_subject_attribute(
+        self, subject_id: str, attribute_id: str, values: list[AttributeValue]
+    ) -> None:
+        self._subject.setdefault(subject_id, {})[attribute_id] = list(values)
+
+    def add_subject_value(
+        self, subject_id: str, attribute_id: str, value: AttributeValue
+    ) -> None:
+        self._subject.setdefault(subject_id, {}).setdefault(attribute_id, []).append(
+            value
+        )
+
+    def remove_subject_value(
+        self, subject_id: str, attribute_id: str, value: AttributeValue
+    ) -> bool:
+        values = self._subject.get(subject_id, {}).get(attribute_id, [])
+        for index, existing in enumerate(values):
+            if existing == value:
+                del values[index]
+                return True
+        return False
+
+    def set_resource_attribute(
+        self, resource_id: str, attribute_id: str, values: list[AttributeValue]
+    ) -> None:
+        self._resource.setdefault(resource_id, {})[attribute_id] = list(values)
+
+    def register_environment(
+        self, attribute_id: str, provider: EnvironmentProvider
+    ) -> None:
+        self._environment[attribute_id] = provider
+
+    def lookup(
+        self,
+        category: Category,
+        attribute_id: str,
+        about: str,
+        data_type: DataType,
+        at: float,
+    ) -> list[AttributeValue]:
+        if category is Category.SUBJECT:
+            values = self._subject.get(about, {}).get(attribute_id, [])
+        elif category is Category.RESOURCE:
+            values = self._resource.get(about, {}).get(attribute_id, [])
+        elif category is Category.ENVIRONMENT:
+            provider = self._environment.get(attribute_id)
+            values = provider(at) if provider else []
+        else:
+            values = []
+        return [v for v in values if v.data_type is data_type]
+
+    def subjects(self) -> list[str]:
+        return list(self._subject)
+
+    def resources(self) -> list[str]:
+        return list(self._resource)
+
+
+def serialize_pip_query(
+    category: Category, attribute_id: str, about: str, data_type: DataType
+) -> str:
+    return (
+        f'<PipQuery category="{category.short_name}" attributeId="{attribute_id}" '
+        f'about="{about}" dataType="{data_type.value}"/>'
+    )
+
+
+def parse_pip_query(xml_text: str) -> tuple[Category, str, str, DataType]:
+    match = re.match(
+        r'<PipQuery category="([^"]*)" attributeId="([^"]*)" '
+        r'about="([^"]*)" dataType="([^"]*)"/>$',
+        xml_text,
+    )
+    if match is None:
+        raise ValueError(f"bad PIP query: {xml_text[:80]!r}")
+    return (
+        Category.from_short_name(match.group(1)),
+        match.group(2),
+        match.group(3),
+        DataType.from_uri(match.group(4)),
+    )
+
+
+def serialize_pip_response(values: list[AttributeValue]) -> str:
+    inner = "".join(
+        f'<AttributeValue DataType="{v.data_type.value}">{v.lexical()}'
+        f"</AttributeValue>"
+        for v in values
+    )
+    return f"<PipResponse>{inner}</PipResponse>"
+
+
+def parse_pip_response(xml_text: str) -> list[AttributeValue]:
+    values = []
+    for match in re.finditer(
+        r'<AttributeValue DataType="([^"]*)">([^<]*)</AttributeValue>', xml_text
+    ):
+        data_type = DataType.from_uri(match.group(1))
+        values.append(AttributeValue.parse(data_type, match.group(2)))
+    return values
+
+
+class PolicyInformationPoint(Component):
+    """Network-attached PIP answering attribute queries."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        store: Optional[AttributeStore] = None,
+        domain: str = "",
+        identity: Optional[ComponentIdentity] = None,
+    ) -> None:
+        super().__init__(name, network, domain, identity)
+        self.store = store if store is not None else AttributeStore()
+        self.queries_served = 0
+        self.on("pip.query", self._handle_query)
+
+    def _handle_query(self, message: Message) -> str:
+        category, attribute_id, about, data_type = parse_pip_query(
+            str(message.payload)
+        )
+        self.queries_served += 1
+        values = self.store.lookup(category, attribute_id, about, data_type, self.now)
+        return serialize_pip_response(values)

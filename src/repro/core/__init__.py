@@ -1,0 +1,50 @@
+"""Core: the paper's contribution assembled.
+
+``AccessControlSystem`` wires one domain's components into a dependable
+authorisation service (replication, failover, quorum, meta-policies,
+audit); ``sequences`` executes the paper's three decision query sequences
+(agent / push / pull) with figure-style flow traces; ``discovery``
+provides registry-based PDP location.
+"""
+
+from .audit import AuditLog, AuditRecord
+from .dependability import (
+    FailoverRouter,
+    HeartbeatMonitor,
+    PdpCluster,
+    QuorumClient,
+    QuorumOutcome,
+)
+from .discovery import DiscoveringSelector, HealthProber, register_pdp
+from .sequences import (
+    AgentProxy,
+    ClientAgent,
+    FlowStep,
+    FlowTrace,
+    agent_sequence,
+    pull_sequence,
+    push_sequence,
+)
+from .system import AccessControlSystem, SystemConfig
+
+__all__ = [
+    "AccessControlSystem",
+    "AgentProxy",
+    "AuditLog",
+    "AuditRecord",
+    "ClientAgent",
+    "DiscoveringSelector",
+    "FailoverRouter",
+    "FlowStep",
+    "FlowTrace",
+    "HealthProber",
+    "HeartbeatMonitor",
+    "PdpCluster",
+    "QuorumClient",
+    "QuorumOutcome",
+    "SystemConfig",
+    "agent_sequence",
+    "pull_sequence",
+    "push_sequence",
+    "register_pdp",
+]

@@ -1,0 +1,98 @@
+"""Audit and accounting.
+
+"Authorisation services easily contribute to uniformity of accounting and
+auditing functions" (paper §2.2, after Woo & Lam).  Every decision that
+flows through an :class:`~repro.core.system.AccessControlSystem` lands in
+an :class:`AuditLog`; the query helpers support the compliance-style
+questions (who touched what, which denials fired, how often did
+fail-safe denial engage) the paper's management section motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from ..xacml.context import Decision
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One enforcement outcome."""
+
+    at: float
+    domain: str
+    pep: str
+    subject_id: str
+    resource_id: str
+    action_id: str
+    decision: Decision
+    source: str  # pdp | cache | capability | fail-safe | obligation | meta-policy
+    detail: str = ""
+
+
+class AuditLog:
+    """Append-only audit store with simple analytics."""
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        self.capacity = capacity
+        self._records: list[AuditRecord] = []
+        self.dropped = 0
+
+    def record(self, record: AuditRecord) -> None:
+        if len(self._records) >= self.capacity:
+            self.dropped += 1
+            return
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[AuditRecord]:
+        return list(self._records)
+
+    # -- queries --------------------------------------------------------------
+
+    def filter(
+        self,
+        subject_id: Optional[str] = None,
+        resource_id: Optional[str] = None,
+        decision: Optional[Decision] = None,
+        source: Optional[str] = None,
+        since: Optional[float] = None,
+    ) -> list[AuditRecord]:
+        out = []
+        for record in self._records:
+            if subject_id is not None and record.subject_id != subject_id:
+                continue
+            if resource_id is not None and record.resource_id != resource_id:
+                continue
+            if decision is not None and record.decision != decision:
+                continue
+            if source is not None and record.source != source:
+                continue
+            if since is not None and record.at < since:
+                continue
+            out.append(record)
+        return out
+
+    def denial_rate(self) -> float:
+        if not self._records:
+            return 0.0
+        denials = sum(
+            1 for r in self._records if r.decision is not Decision.PERMIT
+        )
+        return denials / len(self._records)
+
+    def by_source(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for record in self._records:
+            out[record.source] = out.get(record.source, 0) + 1
+        return out
+
+    def subjects_touching(self, resource_id: str) -> set[str]:
+        return {
+            r.subject_id
+            for r in self._records
+            if r.resource_id == resource_id and r.decision is Decision.PERMIT
+        }

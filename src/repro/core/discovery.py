@@ -1,0 +1,118 @@
+"""PDP discovery: from static bindings to registry lookups with health.
+
+Paper §3.2, "Location of Policy Decision Points": static PEP→PDP
+bindings "are easy to design and implement" but "do not fit into large
+computing environments ... In such cases a discovery mechanism needs to
+be employed."  This module provides that mechanism:
+
+* PDPs register in a :class:`~repro.wsvc.registry.ServiceRegistry`;
+* a :class:`HealthProber` pings registered PDPs on a period and marks
+  them (un)healthy;
+* a :class:`DiscoveringSelector` plugs into a PEP's ``pdp_selector``
+  hook, returning a healthy PDP for the PEP's domain (preferring local,
+  falling back to any domain the PEP's domain delegates decisions to).
+
+Experiment E10 compares static binding vs discovery under PDP churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..components.base import Component, RpcFault, RpcTimeout
+from ..simnet.network import Network
+from ..wsvc.registry import ServiceRegistry
+from ..wsvc.wsdl import pdp_description
+
+
+class HealthProber(Component):
+    """Periodically pings services and updates registry health marks."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        registry: ServiceRegistry,
+        period: float = 1.0,
+        probe_timeout: float = 0.25,
+    ) -> None:
+        super().__init__(name, network)
+        self.registry = registry
+        self.period = period
+        self.probe_timeout = probe_timeout
+        self.probes_sent = 0
+        self.state_changes = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        self.network.loop.schedule(self.period, self._probe_all, label="health-probe")
+
+    def _probe_all(self) -> None:
+        if not self._running:
+            return
+        for description in self.registry.find(healthy_only=False):
+            healthy = self._probe(description.address)
+            entry_known_healthy = description in self.registry.find(
+                healthy_only=True
+            )
+            if healthy != entry_known_healthy:
+                self.state_changes += 1
+            self.registry.mark_health(description.name, healthy)
+        self._schedule_next()
+
+    def _probe(self, address: str) -> bool:
+        self.probes_sent += 1
+        try:
+            self.call(address, "ping", "<Ping/>", timeout=self.probe_timeout)
+        except (RpcTimeout, RpcFault):
+            return False
+        return True
+
+
+@dataclass
+class DiscoveringSelector:
+    """A ``pdp_selector`` implementation backed by the registry.
+
+    Selection preference: healthy PDP in ``home_domain``, then healthy
+    PDP in any of ``fallback_domains`` (the domains home delegates
+    decision making to), else None (the PEP will fail safe).
+    """
+
+    registry: ServiceRegistry
+    home_domain: str
+    fallback_domains: tuple[str, ...] = ()
+    selections: int = 0
+    fallbacks_used: int = 0
+
+    def __call__(self) -> Optional[str]:
+        self.selections += 1
+        local = self.registry.find(service_type="pdp", domain=self.home_domain)
+        if local:
+            return local[0].address
+        for domain in self.fallback_domains:
+            remote = self.registry.find(service_type="pdp", domain=domain)
+            if remote:
+                self.fallbacks_used += 1
+                return remote[0].address
+        return None
+
+
+def register_pdp(
+    registry: ServiceRegistry, pdp_name: str, domain: str, at: float = 0.0
+) -> None:
+    """Convenience: publish a PDP's WSDL-lite description."""
+    registry.register(
+        pdp_description(name=pdp_name, address=pdp_name, domain=domain), at=at
+    )

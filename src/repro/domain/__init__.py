@@ -1,0 +1,69 @@
+"""Multi-domain layer: domains, Virtual Organisations, trust, identity.
+
+Implements the environment of the paper's Fig. 1: autonomous
+administrative domains with their own CAs, IdPs and authorisation
+components, assembled into Virtual Organisations with explicit
+inter-domain trust, in federated or ad-hoc collaboration modes, with
+trust negotiation for strangers.
+"""
+
+from .domain import (
+    AdministrativeDomain,
+    COMPONENT_CERT_LIFETIME,
+    WebServiceResource,
+)
+from .federation import (
+    CollaborationMode,
+    FederationAgreement,
+    build_ad_hoc_collaboration,
+    build_federation,
+)
+from .identity import (
+    ASSERTION_LIFETIME,
+    ATTRIBUTE_ALIASES,
+    IdentityProvider,
+    SUBJECT_VO_MEMBERSHIP,
+    Subject,
+    assertion_from_payload,
+    resolve_attribute_name,
+)
+from .trust import TrustEdge, TrustGraph, TrustKind
+from .trust_negotiation import (
+    Credential,
+    DisclosurePolicy,
+    MAX_ROUNDS,
+    NegotiationOutcome,
+    NegotiationParty,
+    TraustServer,
+    negotiate,
+)
+from .virtual_org import VirtualOrganization, VoPolicyRecord
+
+__all__ = [
+    "ASSERTION_LIFETIME",
+    "ATTRIBUTE_ALIASES",
+    "AdministrativeDomain",
+    "COMPONENT_CERT_LIFETIME",
+    "CollaborationMode",
+    "Credential",
+    "DisclosurePolicy",
+    "FederationAgreement",
+    "IdentityProvider",
+    "MAX_ROUNDS",
+    "NegotiationOutcome",
+    "NegotiationParty",
+    "SUBJECT_VO_MEMBERSHIP",
+    "Subject",
+    "TraustServer",
+    "TrustEdge",
+    "TrustGraph",
+    "TrustKind",
+    "VirtualOrganization",
+    "VoPolicyRecord",
+    "WebServiceResource",
+    "assertion_from_payload",
+    "build_ad_hoc_collaboration",
+    "build_federation",
+    "negotiate",
+    "resolve_attribute_name",
+]

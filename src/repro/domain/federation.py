@@ -1,0 +1,101 @@
+"""Collaboration modes: federated environments vs ad-hoc collaborations.
+
+Paper §2.1 distinguishes two ways multi-domain environments arise:
+
+* **ad-hoc**: "peer-to-peer based bilateral collaborations where partners
+  do not need to have previously established trust relationships";
+* **federated**: "designed to simulate a similar environment to a single
+  domain with pre-established trust-relationships between all
+  collaborating partners".
+
+This module provides constructors for both shapes and the agreement
+records that make the difference auditable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..simnet.network import Network
+from ..wss.keys import KeyStore
+from .domain import AdministrativeDomain
+from .trust import TrustKind
+from .virtual_org import VirtualOrganization
+
+
+class CollaborationMode(enum.Enum):
+    AD_HOC = "ad-hoc"
+    FEDERATED = "federated"
+
+
+@dataclass(frozen=True)
+class FederationAgreement:
+    """A bilateral (or VO-wide) record of what was agreed and when."""
+
+    parties: tuple[str, ...]
+    kinds: tuple[TrustKind, ...]
+    mode: CollaborationMode
+    established_at: float
+
+
+def build_federation(
+    name: str,
+    domain_names: list[str],
+    network: Network,
+    keystore: KeyStore,
+    kinds: tuple[TrustKind, ...] = (
+        TrustKind.IDENTITY,
+        TrustKind.CAPABILITY,
+    ),
+) -> tuple[VirtualOrganization, FederationAgreement]:
+    """Build a federated VO: common root CA, full-mesh trust, one agreement.
+
+    Every domain gets the standard component layout so the result is
+    immediately usable by experiments.
+    """
+    vo = VirtualOrganization(name, network, keystore, with_root_ca=True)
+    for domain_name in domain_names:
+        vo.create_domain(domain_name).standard_layout()
+    for kind in kinds:
+        vo.full_mesh_trust(kind)
+    agreement = FederationAgreement(
+        parties=tuple(domain_names),
+        kinds=kinds,
+        mode=CollaborationMode.FEDERATED,
+        established_at=network.now,
+    )
+    return vo, agreement
+
+
+def build_ad_hoc_collaboration(
+    name: str,
+    pairs: list[tuple[str, str]],
+    network: Network,
+    keystore: KeyStore,
+    kinds: tuple[TrustKind, ...] = (TrustKind.IDENTITY,),
+) -> tuple[VirtualOrganization, list[FederationAgreement]]:
+    """Build an ad-hoc collaboration: no common root, bilateral trust only.
+
+    Each domain keeps its self-signed root CA; only the listed pairs
+    cross-certify, so a subject from domain X is a *stranger* everywhere X
+    has no agreement — the population trust negotiation (E9) exists for.
+    """
+    vo = VirtualOrganization(name, network, keystore, with_root_ca=False)
+    domain_names = sorted({d for pair in pairs for d in pair})
+    for domain_name in domain_names:
+        vo.create_domain(domain_name).standard_layout()
+    agreements = []
+    for a, b in pairs:
+        for kind in kinds:
+            vo.establish_mutual_trust(a, b, kind)
+        agreements.append(
+            FederationAgreement(
+                parties=(a, b),
+                kinds=kinds,
+                mode=CollaborationMode.AD_HOC,
+                established_at=network.now,
+            )
+        )
+    return vo, agreements

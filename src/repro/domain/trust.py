@@ -1,0 +1,105 @@
+"""Inter-domain trust relationships.
+
+"Due to the highly distributed nature of shared resources and a limited
+trust between collaborating partners such sharing needs to be controlled"
+(paper §2.1).  The trust graph records *which domain trusts which other
+domain for what purpose*; the PKI layer then realises each edge by
+installing the trusted domain's CA as a validation anchor.
+
+Trust kinds follow the paper's decomposition:
+
+* ``IDENTITY``   — accept identity/attribute assertions issued by the
+  other domain's IdP (identity-based style);
+* ``CAPABILITY`` — accept capability tokens minted by the other domain's
+  (or the VO's) capability service (push model, Fig. 2);
+* ``DECISION``   — accept authorisation *decisions* from the other
+  domain's PDP (cross-domain decision delegation, §3.2 autonomy).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class TrustKind(enum.Enum):
+    IDENTITY = "identity"
+    CAPABILITY = "capability"
+    DECISION = "decision"
+
+
+@dataclass(frozen=True)
+class TrustEdge:
+    """Directed: ``truster`` accepts artefacts of ``kind`` from ``trusted``."""
+
+    truster: str
+    trusted: str
+    kind: TrustKind
+    established_at: float = 0.0
+
+
+class TrustGraph:
+    """The VO-wide record of inter-domain trust."""
+
+    def __init__(self) -> None:
+        self._edges: set[tuple[str, str, TrustKind]] = set()
+        self._log: list[TrustEdge] = []
+
+    def establish(
+        self, truster: str, trusted: str, kind: TrustKind, at: float = 0.0
+    ) -> None:
+        """Record that ``truster`` now trusts ``trusted`` for ``kind``."""
+        if truster == trusted:
+            return  # self-trust is implicit
+        key = (truster, trusted, kind)
+        if key not in self._edges:
+            self._edges.add(key)
+            self._log.append(TrustEdge(truster, trusted, kind, at))
+
+    def establish_mutual(
+        self, a: str, b: str, kind: TrustKind, at: float = 0.0
+    ) -> None:
+        self.establish(a, b, kind, at)
+        self.establish(b, a, kind, at)
+
+    def revoke(self, truster: str, trusted: str, kind: TrustKind) -> bool:
+        key = (truster, trusted, kind)
+        if key in self._edges:
+            self._edges.remove(key)
+            return True
+        return False
+
+    def trusts(self, truster: str, trusted: str, kind: TrustKind) -> bool:
+        if truster == trusted:
+            return True
+        return (truster, trusted, kind) in self._edges
+
+    def trusted_by(self, truster: str, kind: TrustKind) -> set[str]:
+        """All domains ``truster`` accepts ``kind`` artefacts from."""
+        return {
+            trusted
+            for (edge_truster, trusted, edge_kind) in self._edges
+            if edge_truster == truster and edge_kind == kind
+        }
+
+    def edges(self) -> list[TrustEdge]:
+        return list(self._log)
+
+    def transitive_identity_reach(self, start: str) -> set[str]:
+        """Domains reachable by following IDENTITY trust transitively.
+
+        The paper warns that decentralised delegation "complicates the
+        authorisation management process as it is hard to track the
+        rights"; this closure is the analysis tool that makes the spread
+        visible (used by conflict/delegation audits).
+        """
+        reached = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for nxt in self.trusted_by(current, TrustKind.IDENTITY):
+                if nxt not in reached:
+                    reached.add(nxt)
+                    frontier.append(nxt)
+        return reached

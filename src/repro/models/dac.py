@@ -1,0 +1,249 @@
+"""Discretionary Access Control: owner-managed ACLs, compiled to XACML.
+
+"In discretionary access control (DAC) policies control access based on
+the identity of the subject and on access control rules that define
+allowed operations on objects" (paper §2.2).  Owners grant and revoke at
+their discretion; a grant may carry the *grant option*, letting the
+grantee grant further — the micro-scale version of the cross-domain
+delegation problem Section 3.2 discusses (revocation here is cascading,
+matching the paper's observation that tracking delegated rights is hard).
+
+Negative entries (explicit deny) are supported and override positives,
+mirroring the paper's positive/negative authorisations discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..xacml import combining
+from ..xacml.attributes import Category, SUBJECT_ID, string
+from ..xacml.policy import Policy
+from ..xacml.rules import deny_rule, permit_rule
+from ..xacml.targets import subject_resource_action_target
+
+
+class DacError(Exception):
+    """Raised on unauthorised grant/revoke operations."""
+
+
+@dataclass(frozen=True)
+class AclEntry:
+    """One ACL entry: subject may (or may not) perform action."""
+
+    subject_id: str
+    action_id: str
+    allow: bool = True
+    granted_by: str = ""
+    grant_option: bool = False
+
+
+@dataclass
+class ResourceAcl:
+    """A resource with its owner and entries."""
+
+    resource_id: str
+    owner: str
+    entries: list[AclEntry] = field(default_factory=list)
+
+
+class DacModel:
+    """Owner-managed ACLs with grant-option delegation."""
+
+    def __init__(self, name: str = "dac") -> None:
+        self.name = name
+        self._acls: dict[str, ResourceAcl] = {}
+
+    def register_resource(self, resource_id: str, owner: str) -> ResourceAcl:
+        if resource_id in self._acls:
+            raise DacError(f"resource {resource_id!r} already registered")
+        acl = ResourceAcl(resource_id=resource_id, owner=owner)
+        self._acls[resource_id] = acl
+        return acl
+
+    def acl(self, resource_id: str) -> ResourceAcl:
+        try:
+            return self._acls[resource_id]
+        except KeyError:
+            raise DacError(f"unknown resource {resource_id!r}") from None
+
+    def resources(self) -> list[str]:
+        return list(self._acls)
+
+    # -- who may administer an entry -----------------------------------------------
+
+    def _may_grant(self, grantor: str, resource_id: str, action_id: str) -> bool:
+        acl = self.acl(resource_id)
+        if grantor == acl.owner:
+            return True
+        return any(
+            entry.subject_id == grantor
+            and entry.action_id == action_id
+            and entry.allow
+            and entry.grant_option
+            for entry in acl.entries
+        )
+
+    def grant(
+        self,
+        grantor: str,
+        resource_id: str,
+        subject_id: str,
+        action_id: str,
+        grant_option: bool = False,
+    ) -> AclEntry:
+        """Grant ``subject_id`` the right to ``action_id`` the resource."""
+        if not self._may_grant(grantor, resource_id, action_id):
+            raise DacError(
+                f"{grantor!r} may not grant {action_id!r} on {resource_id!r}"
+            )
+        entry = AclEntry(
+            subject_id=subject_id,
+            action_id=action_id,
+            allow=True,
+            granted_by=grantor,
+            grant_option=grant_option,
+        )
+        self.acl(resource_id).entries.append(entry)
+        return entry
+
+    def deny(
+        self, grantor: str, resource_id: str, subject_id: str, action_id: str
+    ) -> AclEntry:
+        """Attach a negative authorisation (owner only)."""
+        acl = self.acl(resource_id)
+        if grantor != acl.owner:
+            raise DacError(f"only the owner may add negative entries")
+        entry = AclEntry(
+            subject_id=subject_id,
+            action_id=action_id,
+            allow=False,
+            granted_by=grantor,
+        )
+        acl.entries.append(entry)
+        return entry
+
+    def revoke(
+        self,
+        revoker: str,
+        resource_id: str,
+        subject_id: str,
+        action_id: str,
+        cascade: bool = True,
+    ) -> int:
+        """Remove grants; cascading revocation also removes regrants.
+
+        Returns the number of entries removed.  Only the owner or the
+        original grantor may revoke an entry.
+        """
+        acl = self.acl(resource_id)
+        removed = 0
+        victims = [
+            entry
+            for entry in acl.entries
+            if entry.subject_id == subject_id
+            and entry.action_id == action_id
+            and (revoker == acl.owner or entry.granted_by == revoker)
+        ]
+        if not victims:
+            return 0
+        for victim in victims:
+            acl.entries.remove(victim)
+            removed += 1
+        if cascade:
+            # Entries granted by the revoked subject fall with it unless the
+            # grantee still holds the right from another live grantor.
+            downstream = [
+                entry
+                for entry in acl.entries
+                if entry.granted_by == subject_id and entry.action_id == action_id
+            ]
+            for entry in downstream:
+                if not self._still_authorized(subject_id, resource_id, action_id):
+                    removed += self.revoke(
+                        acl.owner,
+                        resource_id,
+                        entry.subject_id,
+                        action_id,
+                        cascade=True,
+                    )
+        return removed
+
+    def _still_authorized(
+        self, subject_id: str, resource_id: str, action_id: str
+    ) -> bool:
+        acl = self.acl(resource_id)
+        if subject_id == acl.owner:
+            return True
+        return any(
+            entry.subject_id == subject_id
+            and entry.action_id == action_id
+            and entry.allow
+            for entry in acl.entries
+        )
+
+    # -- the reference monitor ----------------------------------------------------------
+
+    def check_access(
+        self, subject_id: str, resource_id: str, action_id: str
+    ) -> bool:
+        acl = self._acls.get(resource_id)
+        if acl is None:
+            return False
+        if any(
+            entry.subject_id == subject_id
+            and entry.action_id == action_id
+            and not entry.allow
+            for entry in acl.entries
+        ):
+            return False  # negative authorisation overrides
+        if subject_id == acl.owner:
+            return True
+        return any(
+            entry.subject_id == subject_id
+            and entry.action_id == action_id
+            and entry.allow
+            for entry in acl.entries
+        )
+
+    # -- XACML compilation -----------------------------------------------------------------
+
+    def compile_resource_policy(self, resource_id: str) -> Policy:
+        """A deny-overrides policy mirroring the resource's ACL."""
+        acl = self.acl(resource_id)
+        rules = []
+        for index, entry in enumerate(acl.entries):
+            target = subject_resource_action_target(
+                subject_id=entry.subject_id,
+                action_id=entry.action_id,
+            )
+            builder = permit_rule if entry.allow else deny_rule
+            rules.append(
+                builder(
+                    rule_id=f"acl-{index}-{'allow' if entry.allow else 'deny'}",
+                    target=target,
+                    description=f"granted by {entry.granted_by or 'owner'}",
+                )
+            )
+        # The owner always has access (unless explicitly denied above —
+        # deny-overrides makes that ordering irrelevant).
+        rules.append(
+            permit_rule(
+                rule_id="owner-access",
+                target=subject_resource_action_target(subject_id=acl.owner),
+            )
+        )
+        return Policy(
+            policy_id=f"dac:{self.name}:{resource_id}",
+            rules=tuple(rules),
+            rule_combining=combining.RULE_DENY_OVERRIDES,
+            target=subject_resource_action_target(resource_id=resource_id),
+            description=f"DAC ACL for {resource_id!r} owned by {acl.owner!r}",
+        )
+
+    def compile_policies(self) -> list[Policy]:
+        return [
+            self.compile_resource_policy(resource_id)
+            for resource_id in sorted(self._acls)
+        ]

@@ -1,0 +1,236 @@
+"""Mandatory Access Control: a Bell-LaPadula lattice, compiled to XACML.
+
+"Mandatory access control (MAC) policies control access based on
+centrally mandated sensitivity levels (classifications) of protected
+resources and authorisation levels of subjects (clearances)" (paper
+§2.2).  Labels form the classic lattice: a totally ordered sensitivity
+level plus a set of need-to-know categories; *dominance* is level-≥ plus
+category-superset.
+
+Enforcement follows Bell-LaPadula:
+
+* **no read up** (simple security): read requires subject ⊒ object;
+* **no write down** (★-property): write requires object ⊒ subject.
+
+Compilation maps levels to integer attributes and categories to string
+bags, using XACML's comparison and ``subset`` functions — MAC rides the
+standard engine with no special-casing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..components.pip import AttributeStore
+from ..xacml import combining
+from ..xacml.attributes import (
+    Category,
+    DataType,
+    RESOURCE_CLASSIFICATION,
+    SUBJECT_CLEARANCE,
+    integer,
+    string,
+)
+from ..xacml.expressions import (
+    Apply,
+    Condition,
+    apply_,
+    designator,
+    literal,
+)
+from ..xacml.policy import Policy
+from ..xacml.rules import deny_rule, permit_rule
+from ..xacml.targets import match_equal, target_of
+from ..xacml.functions import FUNCTION_PREFIX_1_0
+
+#: Attribute ids for the category (compartment) halves of labels.
+SUBJECT_CATEGORIES = "urn:repro:subject:categories"
+RESOURCE_CATEGORIES = "urn:repro:resource:categories"
+
+#: Conventional level names, lowest to highest.
+LEVELS = ("public", "internal", "confidential", "secret", "top-secret")
+
+
+class MacError(Exception):
+    """Raised for unknown levels or unlabelled entities."""
+
+
+@dataclass(frozen=True)
+class Label:
+    """A security label: sensitivity level plus category set."""
+
+    level: int
+    categories: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.level < len(LEVELS):
+            raise MacError(
+                f"level must be in [0, {len(LEVELS) - 1}], got {self.level}"
+            )
+
+    @classmethod
+    def named(cls, level_name: str, categories: Iterable[str] = ()) -> "Label":
+        try:
+            level = LEVELS.index(level_name)
+        except ValueError:
+            raise MacError(
+                f"unknown level {level_name!r}; choose from {LEVELS}"
+            ) from None
+        return cls(level=level, categories=frozenset(categories))
+
+    def dominates(self, other: "Label") -> bool:
+        """Lattice order: self ⊒ other."""
+        return self.level >= other.level and self.categories >= other.categories
+
+    @property
+    def level_name(self) -> str:
+        return LEVELS[self.level]
+
+    def __str__(self) -> str:
+        cats = ",".join(sorted(self.categories))
+        return f"{self.level_name}[{cats}]"
+
+
+class MacModel:
+    """Clearances, classifications and the BLP reference monitor."""
+
+    def __init__(self, name: str = "mac") -> None:
+        self.name = name
+        self._clearances: dict[str, Label] = {}
+        self._classifications: dict[str, Label] = {}
+
+    def clear_subject(self, subject_id: str, label: Label) -> None:
+        self._clearances[subject_id] = label
+
+    def classify_resource(self, resource_id: str, label: Label) -> None:
+        self._classifications[resource_id] = label
+
+    def clearance(self, subject_id: str) -> Label:
+        try:
+            return self._clearances[subject_id]
+        except KeyError:
+            raise MacError(f"subject {subject_id!r} has no clearance") from None
+
+    def classification(self, resource_id: str) -> Label:
+        try:
+            return self._classifications[resource_id]
+        except KeyError:
+            raise MacError(f"resource {resource_id!r} is unclassified") from None
+
+    # -- the reference monitor (oracle for tests) ---------------------------------
+
+    def may_read(self, subject_id: str, resource_id: str) -> bool:
+        """Simple security property: no read up."""
+        return self.clearance(subject_id).dominates(
+            self.classification(resource_id)
+        )
+
+    def may_write(self, subject_id: str, resource_id: str) -> bool:
+        """★-property: no write down."""
+        return self.classification(resource_id).dominates(
+            self.clearance(subject_id)
+        )
+
+    def check_access(
+        self, subject_id: str, resource_id: str, action_id: str
+    ) -> bool:
+        if subject_id not in self._clearances:
+            return False
+        if resource_id not in self._classifications:
+            return False
+        if action_id == "read":
+            return self.may_read(subject_id, resource_id)
+        if action_id == "write":
+            return self.may_write(subject_id, resource_id)
+        return False
+
+    # -- XACML compilation ------------------------------------------------------------
+
+    def compile_policy(self) -> Policy:
+        """One policy implementing BLP generically over label attributes.
+
+        Uses designators only — no per-subject or per-resource rules — so
+        the policy size is O(1) in the number of entities, the property
+        that lets MAC scale (experiment E14's attribute-vs-identity
+        contrast).
+        """
+        ge = f"{FUNCTION_PREFIX_1_0}integer-greater-than-or-equal"
+        one_int = f"{FUNCTION_PREFIX_1_0}integer-one-and-only"
+        subset = f"{FUNCTION_PREFIX_1_0}string-subset"
+        land = f"{FUNCTION_PREFIX_1_0}and"
+
+        subject_level = apply_(
+            one_int,
+            designator(Category.SUBJECT, SUBJECT_CLEARANCE, DataType.INTEGER, True),
+        )
+        resource_level = apply_(
+            one_int,
+            designator(
+                Category.RESOURCE, RESOURCE_CLASSIFICATION, DataType.INTEGER, True
+            ),
+        )
+        subject_cats = designator(
+            Category.SUBJECT, SUBJECT_CATEGORIES, DataType.STRING
+        )
+        resource_cats = designator(
+            Category.RESOURCE, RESOURCE_CATEGORIES, DataType.STRING
+        )
+
+        read_condition = Condition(
+            apply_(
+                land,
+                apply_(ge, subject_level, resource_level),
+                apply_(subset, resource_cats, subject_cats),
+            )
+        )
+        write_condition = Condition(
+            apply_(
+                land,
+                apply_(ge, resource_level, subject_level),
+                apply_(subset, subject_cats, resource_cats),
+            )
+        )
+        from ..xacml.attributes import ACTION_ID
+
+        read_rule = permit_rule(
+            rule_id="blp-no-read-up",
+            target=target_of(match_equal(Category.ACTION, ACTION_ID, string("read"))),
+            condition=read_condition,
+            description="Permit read when subject label dominates object label",
+        )
+        write_rule = permit_rule(
+            rule_id="blp-no-write-down",
+            target=target_of(
+                match_equal(Category.ACTION, ACTION_ID, string("write"))
+            ),
+            condition=write_condition,
+            description="Permit write when object label dominates subject label",
+        )
+        return Policy(
+            policy_id=f"mac:{self.name}:blp",
+            rules=(read_rule, write_rule, deny_rule("blp-default-deny")),
+            rule_combining=combining.RULE_FIRST_APPLICABLE,
+            description="Bell-LaPadula lattice policy",
+        )
+
+    def populate_pip(self, store: AttributeStore) -> None:
+        """Write labels into a PIP store for attribute-based evaluation."""
+        for subject_id, label in self._clearances.items():
+            store.set_subject_attribute(
+                subject_id, SUBJECT_CLEARANCE, [integer(label.level)]
+            )
+            store.set_subject_attribute(
+                subject_id,
+                SUBJECT_CATEGORIES,
+                [string(c) for c in sorted(label.categories)],
+            )
+        for resource_id, label in self._classifications.items():
+            store.set_resource_attribute(
+                resource_id, RESOURCE_CLASSIFICATION, [integer(label.level)]
+            )
+            store.set_resource_attribute(
+                resource_id,
+                RESOURCE_CATEGORIES,
+                [string(c) for c in sorted(label.categories)],
+            )

@@ -1,0 +1,38 @@
+"""SAML: assertions, the XACML profile of SAML, and the SOAP binding."""
+
+from .assertions import (
+    Assertion,
+    AssertionError_,
+    AttributeStatement,
+    AuthnStatement,
+    AuthzDecisionStatement,
+    SignedAssertion,
+    sign_assertion,
+    validate_assertion,
+)
+from .bindings import (
+    ASSERTION_HEADER,
+    attach_assertion,
+    extract_assertions,
+    first_assertion,
+    has_assertion,
+)
+from .xacml_profile import XacmlAuthzDecisionQuery, XacmlAuthzDecisionStatement
+
+__all__ = [
+    "ASSERTION_HEADER",
+    "Assertion",
+    "AssertionError_",
+    "AttributeStatement",
+    "AuthnStatement",
+    "AuthzDecisionStatement",
+    "SignedAssertion",
+    "XacmlAuthzDecisionQuery",
+    "XacmlAuthzDecisionStatement",
+    "attach_assertion",
+    "extract_assertions",
+    "first_assertion",
+    "has_assertion",
+    "sign_assertion",
+    "validate_assertion",
+]

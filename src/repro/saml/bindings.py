@@ -1,0 +1,45 @@
+"""SOAP binding for SAML assertions.
+
+"Assertions are typically included in the header of the SOAP message that
+is sent by the client" (paper §2.2).  This module attaches signed
+assertions to envelope headers and extracts them on the service side —
+the transport step of the capability-issuing (push) architecture of
+Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..wsvc.soap import SoapEnvelope
+from .assertions import Assertion, SignedAssertion
+
+ASSERTION_HEADER = "saml:AssertionHeader"
+
+
+def attach_assertion(envelope: SoapEnvelope, assertion: SignedAssertion) -> None:
+    """Place a signed assertion into the envelope's SAML header block."""
+    envelope.add_header(ASSERTION_HEADER, assertion.to_xml(), must_understand=True)
+    attached = getattr(envelope, "_attached_assertions", [])
+    attached.append(assertion)
+    envelope._attached_assertions = attached  # type: ignore[attr-defined]
+
+
+def extract_assertions(envelope: SoapEnvelope) -> list[SignedAssertion]:
+    """Recover signed assertions attached to an envelope.
+
+    Assertions ride as live objects alongside the XML (the XML is
+    authoritative for size accounting; the object carries the parsed
+    form, saving a redundant assertion parser — the signature inside is
+    still fully verified by the relying party).
+    """
+    return list(getattr(envelope, "_attached_assertions", []))
+
+
+def has_assertion(envelope: SoapEnvelope) -> bool:
+    return envelope.header(ASSERTION_HEADER) is not None
+
+
+def first_assertion(envelope: SoapEnvelope) -> Optional[SignedAssertion]:
+    assertions = extract_assertions(envelope)
+    return assertions[0] if assertions else None

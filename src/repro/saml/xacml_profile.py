@@ -1,0 +1,128 @@
+"""SAML profile of XACML.
+
+"The SAML profile for XACML defines how to use SAML to protect,
+transport, and request XACML schema instances and other information in
+XACML-based authorisation systems" (paper §2.3).  This module provides
+the two message shapes that profile defines:
+
+* :class:`XacmlAuthzDecisionQuery` — a SAML query wrapping an XACML
+  request context (PEP → PDP);
+* :class:`XacmlAuthzDecisionStatement` — a SAML statement wrapping an
+  XACML response context (PDP → PEP), usable inside a signed assertion so
+  decisions are attributable and non-forgeable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..xacml.context import RequestContext, ResponseContext
+from ..xacml.parser import parse_request, parse_response
+from ..xacml.serializer import serialize_request, serialize_response
+
+_query_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class XacmlAuthzDecisionQuery:
+    """A SAML-wrapped XACML request, as sent by a PEP to a PDP."""
+
+    request: RequestContext
+    issuer: str
+    issue_instant: float
+    #: When true the PDP must include the evaluated request back in its
+    #: statement, binding decision to request (profile's ReturnContext).
+    return_context: bool = False
+    query_id: str = field(default_factory=lambda: f"xacmlq-{next(_query_ids)}")
+
+    def to_xml(self) -> str:
+        return (
+            f'<xacml-samlp:XACMLAuthzDecisionQuery ID="{self.query_id}" '
+            f'IssueInstant="{self.issue_instant}" '
+            f'ReturnContext="{"true" if self.return_context else "false"}">'
+            f"<saml:Issuer>{self.issuer}</saml:Issuer>"
+            f"{serialize_request(self.request)}"
+            f"</xacml-samlp:XACMLAuthzDecisionQuery>"
+        )
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.to_xml().encode("utf-8"))
+
+    @classmethod
+    def from_xml(cls, xml_text: str) -> "XacmlAuthzDecisionQuery":
+        import re
+
+        match = re.match(
+            r'<xacml-samlp:XACMLAuthzDecisionQuery ID="([^"]*)" '
+            r'IssueInstant="([^"]*)" ReturnContext="([^"]*)">'
+            r"<saml:Issuer>([^<]*)</saml:Issuer>(<Request>.*</Request>)"
+            r"</xacml-samlp:XACMLAuthzDecisionQuery>$",
+            xml_text,
+            re.DOTALL,
+        )
+        if match is None:
+            raise ValueError("not an XACMLAuthzDecisionQuery")
+        return cls(
+            request=parse_request(match.group(5)),
+            issuer=match.group(4),
+            issue_instant=float(match.group(2)),
+            return_context=match.group(3) == "true",
+            query_id=match.group(1),
+        )
+
+
+@dataclass(frozen=True)
+class XacmlAuthzDecisionStatement:
+    """A SAML-wrapped XACML response, as returned by a PDP."""
+
+    response: ResponseContext
+    in_response_to: str
+    issuer: str
+    issue_instant: float
+    request_echo: Optional[RequestContext] = None
+
+    def to_xml(self) -> str:
+        echo = (
+            serialize_request(self.request_echo)
+            if self.request_echo is not None
+            else ""
+        )
+        return (
+            f'<xacml-saml:XACMLAuthzDecisionStatement '
+            f'InResponseTo="{self.in_response_to}" '
+            f'IssueInstant="{self.issue_instant}">'
+            f"<saml:Issuer>{self.issuer}</saml:Issuer>"
+            f"{serialize_response(self.response)}{echo}"
+            f"</xacml-saml:XACMLAuthzDecisionStatement>"
+        )
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.to_xml().encode("utf-8"))
+
+    @classmethod
+    def from_xml(cls, xml_text: str) -> "XacmlAuthzDecisionStatement":
+        import re
+
+        match = re.match(
+            r'<xacml-saml:XACMLAuthzDecisionStatement InResponseTo="([^"]*)" '
+            r'IssueInstant="([^"]*)">'
+            r"<saml:Issuer>([^<]*)</saml:Issuer>"
+            r"(<Response>.*</Response>)(<Request>.*</Request>)?"
+            r"</xacml-saml:XACMLAuthzDecisionStatement>$",
+            xml_text,
+            re.DOTALL,
+        )
+        if match is None:
+            raise ValueError("not an XACMLAuthzDecisionStatement")
+        echo = match.group(5)
+        return cls(
+            response=parse_response(match.group(4)),
+            in_response_to=match.group(1),
+            issuer=match.group(3),
+            issue_instant=float(match.group(2)),
+            request_echo=parse_request(echo) if echo else None,
+        )

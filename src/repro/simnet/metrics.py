@@ -1,0 +1,103 @@
+"""Network and component metrics.
+
+Every experiment in EXPERIMENTS.md reports numbers collected here: message
+counts, bytes on the wire, per-kind breakdowns and latency distributions.
+Collection is cheap (dict increments) so it is always on.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics over a set of latency samples (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "LatencyStats":
+        data = sorted(samples)
+        if not data:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, maximum=0.0)
+        return cls(
+            count=len(data),
+            mean=statistics.fmean(data),
+            p50=data[len(data) // 2],
+            p95=data[min(len(data) - 1, int(0.95 * len(data)))],
+            maximum=data[-1],
+        )
+
+
+@dataclass
+class MetricsRegistry:
+    """Accumulates counters for a simulation run.
+
+    The registry distinguishes *delivered* from *dropped* traffic so that
+    failure-injection experiments (E10, E11) can report loss separately.
+    """
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    sent_by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    bytes_by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    latency_samples: list[float] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record_send(self, kind: str, size_bytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        self.sent_by_kind[kind] += 1
+        self.bytes_by_kind[kind] += size_bytes
+
+    def record_delivery(self, size_bytes: int, latency: float) -> None:
+        self.messages_delivered += 1
+        self.bytes_delivered += size_bytes
+        self.latency_samples.append(latency)
+
+    def record_drop(self) -> None:
+        self.messages_dropped += 1
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment an arbitrary named counter (cache hits, denials, ...)."""
+        self.counters[counter] += amount
+
+    def latency(self) -> LatencyStats:
+        return LatencyStats.from_samples(self.latency_samples)
+
+    def snapshot(self) -> dict[str, object]:
+        """A plain-dict view suitable for printing in benchmark tables."""
+        lat = self.latency()
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_sent": self.bytes_sent,
+            "bytes_delivered": self.bytes_delivered,
+            "latency_mean_ms": round(lat.mean * 1000, 3),
+            "latency_p95_ms": round(lat.p95 * 1000, 3),
+            **{f"sent[{k}]": v for k, v in sorted(self.sent_by_kind.items())},
+            **{f"count[{k}]": v for k, v in sorted(self.counters.items())},
+        }
+
+    def reset(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.sent_by_kind.clear()
+        self.bytes_by_kind.clear()
+        self.latency_samples.clear()
+        self.counters.clear()

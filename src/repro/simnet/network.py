@@ -1,0 +1,198 @@
+"""Simulated network: nodes, links and message delivery.
+
+The network model is intentionally simple but sufficient for the paper's
+communication-performance analysis:
+
+* every node has an address and an inbox handler;
+* links have a fixed propagation latency plus a bandwidth term so that
+  *bigger messages take longer* (this is what makes WS-Security overhead
+  measurable end-to-end, experiment E7);
+* links can be partitioned and nodes crashed (experiments E10, E11);
+* optional per-link loss probability, drawn from a seeded RNG for
+  reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol
+
+from .clock import SimClock
+from .events import EventLoop
+from .message import Message
+from .metrics import MetricsRegistry
+
+#: Default one-way latency between two nodes in the same domain (seconds).
+INTRA_DOMAIN_LATENCY = 0.0005
+#: Default one-way latency between nodes in different domains (seconds).
+INTER_DOMAIN_LATENCY = 0.020
+#: Default link bandwidth in bytes/second (100 Mbit/s).
+DEFAULT_BANDWIDTH = 12_500_000
+
+
+class MessageHandler(Protocol):
+    def __call__(self, message: Message) -> None: ...
+
+
+@dataclass
+class Link:
+    """Directed connectivity descriptor between two addresses."""
+
+    latency: float = INTER_DOMAIN_LATENCY
+    bandwidth: float = DEFAULT_BANDWIDTH
+    loss_probability: float = 0.0
+    up: bool = True
+
+    def transfer_time(self, size_bytes: int) -> float:
+        return self.latency + size_bytes / self.bandwidth
+
+
+class Node:
+    """A network endpoint bound to an address.
+
+    Subclasses (or composition users) register a handler that receives
+    delivered messages.  A crashed node silently drops inbound traffic,
+    matching fail-stop semantics.
+    """
+
+    def __init__(self, address: str, network: "Network") -> None:
+        self.address = address
+        self.network = network
+        self.alive = True
+        self._handler: Optional[MessageHandler] = None
+        network._register(self)
+
+    def on_message(self, handler: MessageHandler) -> None:
+        self._handler = handler
+
+    def send(self, message: Message) -> None:
+        """Send a message; delivery is scheduled on the event loop."""
+        self.network.transmit(message)
+
+    def crash(self) -> None:
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def _deliver(self, message: Message) -> None:
+        if not self.alive or self._handler is None:
+            self.network.metrics.record_drop()
+            return
+        self._handler(message)
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"Node({self.address}, {state})"
+
+
+class Network:
+    """The message fabric connecting all simulated components.
+
+    A single :class:`Network` instance underpins one experiment run: it owns
+    the event loop, the clock, the RNG and the metrics registry, making each
+    run self-contained and reproducible from its seed.
+    """
+
+    def __init__(self, seed: int = 0, loop: Optional[EventLoop] = None) -> None:
+        self.loop = loop if loop is not None else EventLoop(SimClock())
+        self.rng = random.Random(seed)
+        self.metrics = MetricsRegistry()
+        self._nodes: dict[str, Node] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self.default_link = Link()
+
+    @property
+    def clock(self) -> SimClock:
+        return self.loop.clock
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    # -- topology ----------------------------------------------------------
+
+    def node(self, address: str) -> Node:
+        """Create (or fetch) the node bound to ``address``."""
+        existing = self._nodes.get(address)
+        if existing is not None:
+            return existing
+        return Node(address, self)
+
+    def _register(self, node: Node) -> None:
+        if node.address in self._nodes:
+            raise ValueError(f"address already registered: {node.address}")
+        self._nodes[node.address] = node
+
+    def get(self, address: str) -> Node:
+        try:
+            return self._nodes[address]
+        except KeyError:
+            raise KeyError(f"no node registered at {address!r}") from None
+
+    def set_link(self, src: str, dst: str, link: Link, symmetric: bool = True) -> None:
+        self._links[(src, dst)] = link
+        if symmetric:
+            self._links[(dst, src)] = Link(
+                latency=link.latency,
+                bandwidth=link.bandwidth,
+                loss_probability=link.loss_probability,
+                up=link.up,
+            )
+
+    def link_between(self, src: str, dst: str) -> Link:
+        return self._links.get((src, dst), self.default_link)
+
+    def partition(self, src: str, dst: str, symmetric: bool = True) -> None:
+        """Cut connectivity between two addresses (network partition)."""
+        link = self._links.get((src, dst))
+        if link is None:
+            link = Link(
+                latency=self.default_link.latency,
+                bandwidth=self.default_link.bandwidth,
+            )
+            self._links[(src, dst)] = link
+        link.up = False
+        if symmetric:
+            self.partition(dst, src, symmetric=False)
+
+    def heal(self, src: str, dst: str, symmetric: bool = True) -> None:
+        """Restore connectivity previously cut by :meth:`partition`."""
+        link = self._links.get((src, dst))
+        if link is not None:
+            link.up = True
+        if symmetric:
+            self.heal(dst, src, symmetric=False)
+
+    # -- transmission ------------------------------------------------------
+
+    def transmit(self, message: Message) -> None:
+        """Queue a message for delivery subject to link state and loss."""
+        self.metrics.record_send(message.kind, message.size_bytes)
+        link = self.link_between(message.sender, message.recipient)
+        if not link.up:
+            self.metrics.record_drop()
+            return
+        if link.loss_probability > 0 and self.rng.random() < link.loss_probability:
+            self.metrics.record_drop()
+            return
+        dest = self._nodes.get(message.recipient)
+        if dest is None:
+            self.metrics.record_drop()
+            return
+        delay = link.transfer_time(message.size_bytes)
+        sent_at = self.now
+
+        def deliver() -> None:
+            self.metrics.record_delivery(message.size_bytes, self.now - sent_at)
+            dest._deliver(message)
+
+        self.loop.schedule(delay, deliver, label=f"deliver:{message.kind}")
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Drain the event loop; convenience passthrough."""
+        return self.loop.run(until=until)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        self.loop.schedule(delay, callback)

@@ -1,0 +1,28 @@
+"""Synthetic workloads and named scenarios for experiments and examples."""
+
+from .generator import (
+    ACTIONS,
+    AccessEvent,
+    GeneratedWorkload,
+    PolicyCorpusSpec,
+    WorkloadSpec,
+    build_workload,
+    generate_policy_corpus,
+    request_stream,
+)
+from .scenarios import Scenario, enterprise_soa, grid_vo, healthcare_federation
+
+__all__ = [
+    "ACTIONS",
+    "AccessEvent",
+    "GeneratedWorkload",
+    "PolicyCorpusSpec",
+    "Scenario",
+    "WorkloadSpec",
+    "build_workload",
+    "enterprise_soa",
+    "generate_policy_corpus",
+    "grid_vo",
+    "healthcare_federation",
+    "request_stream",
+]

@@ -1,0 +1,299 @@
+"""Named end-to-end scenarios used by examples and integration tests.
+
+Each scenario assembles a realistic multi-domain environment of the kind
+the paper's introduction motivates: a science grid VO (CAS/VOMS
+territory), a healthcare federation (the XSPA profile's setting) and an
+enterprise SOA with business partners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..capability.cas import CommunityAuthorizationService
+from ..capability.tokens import CapabilityVerifier
+from ..domain.federation import build_federation
+from ..domain.trust import TrustKind
+from ..domain.virtual_org import VirtualOrganization
+from ..models.abac import AbacPolicyBuilder, AbacRuleBuilder
+from ..models.rbac import RbacModel
+from ..simnet.network import Network
+from ..wss.keys import KeyStore
+from ..xacml import combining
+from ..xacml.attributes import SUBJECT_ROLE
+from ..xacml.context import Decision, Obligation, ObligationAssignment
+from ..xacml.policy import Policy
+from ..xacml.rules import deny_rule, permit_rule
+from ..xacml.targets import subject_resource_action_target
+from ..xacml.attributes import string
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run environment plus the handles experiments need."""
+
+    name: str
+    network: Network
+    keystore: KeyStore
+    vo: VirtualOrganization
+    notes: dict[str, object] = field(default_factory=dict)
+
+
+def grid_vo(seed: int = 0) -> Scenario:
+    """A science grid: 3 sites, a VO-level CAS, shared datasets.
+
+    Mirrors the CAS/VOMS deployments the paper cites: site PEPs accept
+    VO capabilities but keep local deny authority.
+    """
+    network = Network(seed=seed)
+    keystore = KeyStore(seed=seed)
+    vo, _ = build_federation(
+        "earth-science-vo",
+        ["site-compute", "site-archive", "site-viz"],
+        network,
+        keystore,
+        kinds=(TrustKind.IDENTITY, TrustKind.CAPABILITY),
+    )
+    compute = vo.domain("site-compute")
+    archive = vo.domain("site-archive")
+    viz = vo.domain("site-viz")
+
+    cas_identity = compute.component_identity("cas.earth-science-vo")
+    cas = CommunityAuthorizationService(
+        "cas.earth-science-vo",
+        network,
+        "site-compute",
+        cas_identity,
+        vo_name="earth-science-vo",
+    )
+    cas.add_policy(
+        Policy(
+            policy_id="vo-capability-policy",
+            rules=(
+                permit_rule(
+                    "analysts-read",
+                    target=subject_resource_action_target(action_id="read"),
+                ),
+                deny_rule("refuse-rest"),
+            ),
+            rule_combining=combining.RULE_FIRST_APPLICABLE,
+        )
+    )
+
+    datasets = []
+    for site, names in (
+        (archive, ["climate-1990s", "climate-2000s"]),
+        (viz, ["render-farm"]),
+        (compute, ["batch-queue"]),
+    ):
+        for name in names:
+            datasets.append(site.expose_resource(name))
+
+    for index, (domain, user) in enumerate(
+        ((compute, "ana"), (archive, "ben"), (viz, "carol"))
+    ):
+        subject = domain.new_subject(user, role=["analyst"])
+        vo.grant_membership(subject)
+        cas.set_subject_attribute(user, SUBJECT_ROLE, ["analyst"])
+
+    return Scenario(
+        name="grid-vo",
+        network=network,
+        keystore=keystore,
+        vo=vo,
+        notes={"cas": cas, "datasets": [d.resource_id for d in datasets]},
+    )
+
+
+def healthcare_federation(seed: int = 0) -> Scenario:
+    """Hospital + clinic + research institute sharing patient records.
+
+    The XSPA-flavoured scenario: role- and purpose-constrained access to
+    records, emergency override via obligation (break-glass audit).
+    """
+    network = Network(seed=seed)
+    keystore = KeyStore(seed=seed)
+    vo, _ = build_federation(
+        "health-info-exchange",
+        ["hospital", "clinic", "research"],
+        network,
+        keystore,
+    )
+    hospital = vo.domain("hospital")
+    clinic = vo.domain("clinic")
+    research = vo.domain("research")
+
+    records = hospital.expose_resource(
+        "patient-records", description="longitudinal patient records"
+    )
+    labs = clinic.expose_resource("lab-results")
+    cohort = research.expose_resource("anonymised-cohort")
+
+    #: Physicians read records; researchers only the anonymised cohort;
+    #: break-glass: emergency access permitted with a mandatory audit
+    #: obligation (the paper's parameterised-enforcement example).
+    audit_obligation = Obligation(
+        obligation_id="urn:repro:obligation:break-glass-audit",
+        fulfill_on=Decision.PERMIT,
+        assignments=(
+            ObligationAssignment("reason", string("emergency-access")),
+        ),
+    )
+    record_policy = (
+        AbacPolicyBuilder(
+            "hospital-records-policy",
+            rule_combining=combining.RULE_FIRST_APPLICABLE,
+        )
+        .for_resource("patient-records")
+        .rule(
+            AbacRuleBuilder("physicians-read")
+            .permit()
+            .when_subject(SUBJECT_ROLE, "physician")
+            .when_action("read")
+            .build()
+        )
+        .rule(
+            AbacRuleBuilder("emergency-break-glass")
+            .permit()
+            .when_subject(SUBJECT_ROLE, "emergency-responder")
+            .when_action("read")
+            .build()
+        )
+        .default_deny()
+        .build()
+    )
+    # Attach the break-glass obligation at policy level (fires on Permit;
+    # physicians' reads also audit, which XSPA deployments do in practice).
+    record_policy = Policy(
+        policy_id=record_policy.policy_id,
+        rules=record_policy.rules,
+        rule_combining=record_policy.rule_combining,
+        target=record_policy.target,
+        obligations=(audit_obligation,),
+        description=record_policy.description,
+    )
+    hospital.pap.publish(record_policy)
+
+    clinic.pap.publish(
+        AbacPolicyBuilder(
+            "clinic-labs-policy", rule_combining=combining.RULE_FIRST_APPLICABLE
+        )
+        .for_resource("lab-results")
+        .rule(
+            AbacRuleBuilder("clinicians-read")
+            .permit()
+            .when_subject(SUBJECT_ROLE, "physician", "nurse")
+            .when_action("read")
+            .build()
+        )
+        .default_deny()
+        .build()
+    )
+    research.pap.publish(
+        AbacPolicyBuilder(
+            "research-cohort-policy",
+            rule_combining=combining.RULE_FIRST_APPLICABLE,
+        )
+        .for_resource("anonymised-cohort")
+        .rule(
+            AbacRuleBuilder("researchers-read")
+            .permit()
+            .when_subject(SUBJECT_ROLE, "researcher")
+            .when_action("read")
+            .build()
+        )
+        .default_deny()
+        .build()
+    )
+
+    dr_adams = hospital.new_subject("dr-adams", role=["physician"])
+    nurse_brown = clinic.new_subject("nurse-brown", role=["nurse"])
+    prof_chen = research.new_subject("prof-chen", role=["researcher"])
+    medic_diaz = hospital.new_subject("medic-diaz", role=["emergency-responder"])
+    for subject in (dr_adams, nurse_brown, prof_chen, medic_diaz):
+        vo.grant_membership(subject)
+
+    # Cross-domain attribute authority: every PDP may consult every PIP.
+    for name_a in vo.domains:
+        for name_b in vo.domains:
+            if name_a != name_b:
+                vo.domain(name_a).pdp.pip_addresses.append(
+                    vo.domain(name_b).pip.name
+                )
+
+    return Scenario(
+        name="healthcare-federation",
+        network=network,
+        keystore=keystore,
+        vo=vo,
+        notes={
+            "resources": ["patient-records", "lab-results", "anonymised-cohort"],
+            "break_glass_obligation": "urn:repro:obligation:break-glass-audit",
+        },
+    )
+
+
+def enterprise_soa(seed: int = 0) -> Scenario:
+    """An enterprise and two partners exposing business services.
+
+    RBAC inside the enterprise, partner access constrained to specific
+    service operations — the intra/inter-organisational SOA setting of
+    the paper's introduction.
+    """
+    network = Network(seed=seed)
+    keystore = KeyStore(seed=seed)
+    vo, _ = build_federation(
+        "supply-chain",
+        ["enterprise", "partner-logistics", "partner-billing"],
+        network,
+        keystore,
+    )
+    enterprise = vo.domain("enterprise")
+    logistics = vo.domain("partner-logistics")
+    billing = vo.domain("partner-billing")
+
+    for service in ("order-service", "inventory-service", "invoice-service"):
+        enterprise.expose_resource(service)
+
+    rbac = RbacModel("enterprise")
+    for role in ("clerk", "supervisor", "partner-logistics", "partner-billing"):
+        rbac.add_role(role)
+    rbac.add_inheritance("supervisor", "clerk")
+    rbac.grant_permission("clerk", "order-service", "read")
+    rbac.grant_permission("supervisor", "order-service", "write")
+    rbac.grant_permission("supervisor", "inventory-service", "write")
+    rbac.grant_permission("partner-logistics", "inventory-service", "read")
+    rbac.grant_permission("partner-billing", "invoice-service", "read")
+    rbac.grant_permission("partner-billing", "invoice-service", "write")
+    enterprise.pap.publish(rbac.compile_policy_set())
+
+    emma = enterprise.new_subject("emma", role=["supervisor"])
+    carl = enterprise.new_subject("carl", role=["clerk"])
+    lars = logistics.new_subject("lars", role=["partner-logistics"])
+    bill = billing.new_subject("bill", role=["partner-billing"])
+    for user, role in (
+        ("emma", "supervisor"),
+        ("carl", "clerk"),
+        ("lars", "partner-logistics"),
+        ("bill", "partner-billing"),
+    ):
+        rbac.assign_user(user, role)
+    for subject in (emma, carl, lars, bill):
+        vo.grant_membership(subject)
+    rbac.populate_pip(enterprise.pip.store)
+    # Partners' PDP is irrelevant here: services live in the enterprise;
+    # its PDP must resolve partner subjects, so it may consult their PIPs.
+    enterprise.pdp.pip_addresses.extend(
+        [logistics.pip.name, billing.pip.name]
+    )
+    rbac.populate_pip(logistics.pip.store)
+    rbac.populate_pip(billing.pip.store)
+
+    return Scenario(
+        name="enterprise-soa",
+        network=network,
+        keystore=keystore,
+        vo=vo,
+        notes={"rbac": rbac},
+    )

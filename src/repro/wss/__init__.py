@@ -1,0 +1,69 @@
+"""Security substrate: keys, PKI, XML-DSig/Enc analogues and TLS channels.
+
+See DESIGN.md §2 for the substitution rationale: the package reproduces
+the *access structure* of the real standards (who can sign, verify,
+encrypt, decrypt, and with which trust path) with dependency-free
+hash-based constructions, plus byte-accurate size modelling so security
+overheads are measurable.
+"""
+
+from .keys import Ciphertext, KeyPair, KeyStore, PublicKey
+from .pki import (
+    Certificate,
+    CertificateAuthority,
+    CertificateError,
+    TrustValidator,
+)
+from .tls import (
+    HANDSHAKE_BYTES,
+    HANDSHAKE_ROUND_TRIPS,
+    HandshakeError,
+    HandshakeResult,
+    RECORD_OVERHEAD_BYTES,
+    SecureChannel,
+    TlsContext,
+    TlsEndpoint,
+)
+from .xmldsig import (
+    SignatureError,
+    SignedDocument,
+    canonicalize,
+    is_authentic,
+    sign_document,
+    verify_document,
+)
+from .xmlenc import (
+    DecryptionError,
+    EncryptedDocument,
+    decrypt_document,
+    encrypt_document,
+)
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateError",
+    "Ciphertext",
+    "DecryptionError",
+    "EncryptedDocument",
+    "HANDSHAKE_BYTES",
+    "HANDSHAKE_ROUND_TRIPS",
+    "HandshakeError",
+    "HandshakeResult",
+    "KeyPair",
+    "KeyStore",
+    "PublicKey",
+    "RECORD_OVERHEAD_BYTES",
+    "SecureChannel",
+    "SignatureError",
+    "SignedDocument",
+    "TlsContext",
+    "TlsEndpoint",
+    "TrustValidator",
+    "canonicalize",
+    "decrypt_document",
+    "encrypt_document",
+    "is_authentic",
+    "sign_document",
+    "verify_document",
+]

@@ -1,0 +1,136 @@
+"""Transport-layer security analogue (SSL/TLS).
+
+The paper notes that besides message-level protection, "the underlying
+HTTP protocol is secured with such mechanisms as Secure Sockets Layer
+(SSL) or its successor Transport Layer Security (TLS)".
+
+We model TLS at the granularity the experiments need:
+
+* a handshake costs extra round-trips (latency) and bytes, paid once per
+  channel and amortised across subsequent messages;
+* each protected record adds a fixed framing overhead;
+* a channel is bound to the certificates presented during the handshake,
+  giving mutual authentication when both sides present one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .pki import Certificate, CertificateError, TrustValidator
+
+#: Bytes exchanged during a (mutually authenticated) handshake.
+HANDSHAKE_BYTES = 4_200
+#: Round trips consumed by the handshake (TLS 1.2-style full handshake).
+HANDSHAKE_ROUND_TRIPS = 2
+#: Per-record framing overhead in bytes.
+RECORD_OVERHEAD_BYTES = 29
+
+
+class HandshakeError(Exception):
+    """Raised when a TLS handshake fails authentication."""
+
+
+@dataclass
+class SecureChannel:
+    """An established TLS-style channel between two named endpoints."""
+
+    client: str
+    server: str
+    client_cert: Optional[Certificate]
+    server_cert: Certificate
+    established_at: float
+    records_sent: int = 0
+    bytes_protected: int = 0
+
+    @property
+    def mutually_authenticated(self) -> bool:
+        return self.client_cert is not None
+
+    def protect(self, size_bytes: int) -> int:
+        """Account for one protected record; returns its on-wire size."""
+        self.records_sent += 1
+        wire = size_bytes + RECORD_OVERHEAD_BYTES
+        self.bytes_protected += wire
+        return wire
+
+
+@dataclass
+class TlsEndpoint:
+    """Configuration of one side of a handshake."""
+
+    name: str
+    certificate: Certificate
+    validator: TrustValidator
+    require_client_auth: bool = True
+
+
+@dataclass
+class HandshakeResult:
+    channel: SecureChannel
+    round_trips: int = HANDSHAKE_ROUND_TRIPS
+    handshake_bytes: int = HANDSHAKE_BYTES
+
+
+class TlsContext:
+    """Establishes and caches secure channels between endpoint pairs.
+
+    Channel reuse models TLS session resumption: the first message between
+    a pair pays the handshake, later ones do not.  Experiments account for
+    that cost through :meth:`connect`'s returned ``HandshakeResult``.
+    """
+
+    def __init__(self) -> None:
+        self._channels: dict[tuple[str, str], SecureChannel] = {}
+        self.handshakes_performed = 0
+
+    def connect(
+        self,
+        client: TlsEndpoint,
+        server: TlsEndpoint,
+        at: float,
+        reuse: bool = True,
+    ) -> HandshakeResult:
+        """Perform (or resume) a handshake from ``client`` to ``server``.
+
+        Both sides validate the peer certificate against their own trust
+        anchors; the paper's mutual-authentication requirement between PEPs
+        and PDPs (Section 3.2) maps onto ``require_client_auth=True``.
+        """
+        key = (client.name, server.name)
+        if reuse and key in self._channels:
+            return HandshakeResult(
+                channel=self._channels[key], round_trips=0, handshake_bytes=0
+            )
+        try:
+            client.validator.validate(server.certificate, at=at)
+        except CertificateError as exc:
+            raise HandshakeError(
+                f"client {client.name!r} rejected server certificate: {exc}"
+            ) from exc
+        client_cert: Optional[Certificate] = None
+        if server.require_client_auth:
+            try:
+                server.validator.validate(client.certificate, at=at)
+            except CertificateError as exc:
+                raise HandshakeError(
+                    f"server {server.name!r} rejected client certificate: {exc}"
+                ) from exc
+            client_cert = client.certificate
+        channel = SecureChannel(
+            client=client.name,
+            server=server.name,
+            client_cert=client_cert,
+            server_cert=server.certificate,
+            established_at=at,
+        )
+        self._channels[key] = channel
+        self.handshakes_performed += 1
+        return HandshakeResult(channel=channel)
+
+    def channel_between(self, client: str, server: str) -> Optional[SecureChannel]:
+        return self._channels.get((client, server))
+
+    def teardown(self, client: str, server: str) -> None:
+        self._channels.pop((client, server), None)

@@ -1,0 +1,85 @@
+"""Web Services substrate: SOAP, WSDL-lite, registry, WS-Security, REST.
+
+Stands in for the paper's "Web Services as the underlying connection
+technology": envelopes serialize to real XML (byte-accurate sizes),
+services describe themselves for discovery, and WS-Security provides the
+message-level protection of Section 3.2.
+"""
+
+from .registry import RegistryEntry, RegistryError, ServiceRegistry
+from .rest import (
+    HttpRequest,
+    HttpResponse,
+    METHOD_TO_ACTION,
+    RestResource,
+    RestRouter,
+    RouteDecision,
+    SAFE_METHODS,
+)
+from .soap import (
+    HeaderBlock,
+    SOAP_NS,
+    SoapEnvelope,
+    SoapFault,
+    request_envelope,
+    response_envelope,
+)
+from .ws_policy import (
+    PolicyAssertion,
+    ServicePolicy,
+    require_role,
+    require_signed_messages,
+    require_token,
+    require_vo_membership,
+)
+from .ws_security import (
+    SECURITY_HEADER,
+    SecurityConfig,
+    WsSecurityError,
+    secure_envelope,
+    signer_of,
+    verify_envelope,
+)
+from .wsdl import (
+    Operation,
+    ServiceDescription,
+    capability_service_description,
+    pap_description,
+    pdp_description,
+)
+
+__all__ = [
+    "HeaderBlock",
+    "HttpRequest",
+    "HttpResponse",
+    "METHOD_TO_ACTION",
+    "Operation",
+    "PolicyAssertion",
+    "RegistryEntry",
+    "RegistryError",
+    "RestResource",
+    "RestRouter",
+    "RouteDecision",
+    "SAFE_METHODS",
+    "SECURITY_HEADER",
+    "SOAP_NS",
+    "SecurityConfig",
+    "ServiceDescription",
+    "ServicePolicy",
+    "ServiceRegistry",
+    "SoapEnvelope",
+    "SoapFault",
+    "WsSecurityError",
+    "capability_service_description",
+    "pap_description",
+    "pdp_description",
+    "request_envelope",
+    "require_role",
+    "require_signed_messages",
+    "require_token",
+    "require_vo_membership",
+    "response_envelope",
+    "secure_envelope",
+    "signer_of",
+    "verify_envelope",
+]

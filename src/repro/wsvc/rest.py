@@ -1,0 +1,124 @@
+"""RESTful resource exposure.
+
+The paper contrasts SOAP services (one URI, many operations — access
+control needs message inspection) with RESTful services, where "Web
+Services are accessed using different URIs and it is much easier to
+control access to them" (Section 3.1).  This module provides the REST
+side of that comparison: URI-addressed resources, method-based actions
+and a router that maps an HTTP-style request to the canonical
+{subject, resource, action} triple a PEP understands.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+SAFE_METHODS = frozenset({"GET", "HEAD", "OPTIONS"})
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """Minimal HTTP request model used by the REST router."""
+
+    method: str
+    uri: str
+    subject_id: str = ""
+    body: str = ""
+    headers: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def wire_size(self) -> int:
+        header_bytes = sum(len(k) + len(v) + 4 for k, v in self.headers)
+        return len(self.method) + len(self.uri) + len(self.body) + header_bytes + 26
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    status: int
+    body: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+#: Maps HTTP verbs to the action vocabulary the policies use.
+METHOD_TO_ACTION = {
+    "GET": "read",
+    "HEAD": "read",
+    "OPTIONS": "read",
+    "PUT": "write",
+    "POST": "write",
+    "PATCH": "write",
+    "DELETE": "delete",
+}
+
+
+@dataclass
+class RestResource:
+    """One addressable resource: a URI template plus allowed methods.
+
+    URI templates use ``{name}`` placeholders, e.g.
+    ``/records/{patient}/labs``; matching extracts the parameters.
+    """
+
+    uri_template: str
+    resource_id: str
+    allowed_methods: frozenset[str] = frozenset(METHOD_TO_ACTION)
+    handler: Optional[Callable[[HttpRequest], str]] = None
+
+    def __post_init__(self) -> None:
+        pattern = re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", self.uri_template)
+        self._regex = re.compile(f"^{pattern}$")
+
+    def match(self, uri: str) -> Optional[dict[str, str]]:
+        found = self._regex.match(uri)
+        if found is None:
+            return None
+        return found.groupdict()
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """What the router derived from a request, ready for a PEP."""
+
+    resource_id: str
+    action_id: str
+    parameters: dict[str, str]
+    resource: RestResource
+
+
+class RestRouter:
+    """Routes HTTP requests to resources and access-control triples."""
+
+    def __init__(self) -> None:
+        self._resources: list[RestResource] = []
+
+    def add(self, resource: RestResource) -> None:
+        self._resources.append(resource)
+
+    def route(self, request: HttpRequest) -> Optional[RouteDecision]:
+        """First matching resource wins; None means 404."""
+        for resource in self._resources:
+            params = resource.match(request.uri)
+            if params is None:
+                continue
+            if request.method not in resource.allowed_methods:
+                return None
+            action = METHOD_TO_ACTION.get(request.method)
+            if action is None:
+                return None
+            return RouteDecision(
+                resource_id=resource.resource_id.format(**params)
+                if "{" in resource.resource_id
+                else resource.resource_id,
+                action_id=action,
+                parameters=params,
+                resource=resource,
+            )
+        return None
+
+    def __len__(self) -> int:
+        return len(self._resources)

@@ -1,0 +1,86 @@
+"""WS-Policy style policy assertions attached to service endpoints.
+
+The Web Services profile of XACML (WS-XACML, paper §3.1) lets a service
+advertise *policy assertions* — the authorisation and privacy requirements
+a caller must satisfy.  We model the mechanism: a service publishes a
+:class:`ServicePolicy` of required claims; clients present claims; the
+intersection test says whether an interaction can even be attempted before
+any PDP round-trip happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class PolicyAssertion:
+    """One requirement: a claim kind plus acceptable values.
+
+    ``kind`` examples: ``"token-type"`` (saml / x509-attribute),
+    ``"signed-messages"``, ``"role"``, ``"member-of-vo"``.
+    An empty ``accepted_values`` means "the claim must merely be present".
+    """
+
+    kind: str
+    accepted_values: frozenset[str] = frozenset()
+    optional: bool = False
+
+    def satisfied_by(self, claims: dict[str, set[str]]) -> bool:
+        if self.kind not in claims:
+            return self.optional
+        if not self.accepted_values:
+            return True
+        return bool(self.accepted_values & claims[self.kind])
+
+    def to_xml(self) -> str:
+        values = "".join(
+            f"<wsp:Value>{v}</wsp:Value>" for v in sorted(self.accepted_values)
+        )
+        opt = ' wsp:Optional="true"' if self.optional else ""
+        return f'<wsp:Assertion kind="{self.kind}"{opt}>{values}</wsp:Assertion>'
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """All assertions a service attaches to its endpoint (wsp:Policy)."""
+
+    service_name: str
+    assertions: tuple[PolicyAssertion, ...] = ()
+
+    def unmet_assertions(
+        self, claims: dict[str, set[str]]
+    ) -> list[PolicyAssertion]:
+        return [a for a in self.assertions if not a.satisfied_by(claims)]
+
+    def admits(self, claims: dict[str, set[str]]) -> bool:
+        """True when every mandatory assertion is satisfied by ``claims``."""
+        return not self.unmet_assertions(claims)
+
+    def to_xml(self) -> str:
+        inner = "".join(a.to_xml() for a in self.assertions)
+        return (
+            f'<wsp:Policy xmlns:wsp="http://www.w3.org/ns/ws-policy" '
+            f'service="{self.service_name}">{inner}</wsp:Policy>'
+        )
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.to_xml().encode("utf-8"))
+
+
+def require_token(token_types: Iterable[str]) -> PolicyAssertion:
+    return PolicyAssertion(kind="token-type", accepted_values=frozenset(token_types))
+
+
+def require_signed_messages() -> PolicyAssertion:
+    return PolicyAssertion(kind="signed-messages")
+
+
+def require_role(roles: Iterable[str]) -> PolicyAssertion:
+    return PolicyAssertion(kind="role", accepted_values=frozenset(roles))
+
+
+def require_vo_membership(vo_names: Iterable[str]) -> PolicyAssertion:
+    return PolicyAssertion(kind="member-of-vo", accepted_values=frozenset(vo_names))

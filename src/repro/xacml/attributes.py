@@ -1,0 +1,244 @@
+"""XACML attribute model: categories, data types, values, bags, designators.
+
+XACML describes every access request as attributes in four categories —
+subject, resource, action and environment — and policies reference those
+attributes through *designators* that resolve to *bags* of typed values.
+This module implements that model closely following XACML 2.0.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional
+
+
+class Category(enum.Enum):
+    """The four XACML 2.0 attribute categories."""
+
+    SUBJECT = "urn:oasis:names:tc:xacml:1.0:subject-category:access-subject"
+    RESOURCE = "urn:oasis:names:tc:xacml:3.0:attribute-category:resource"
+    ACTION = "urn:oasis:names:tc:xacml:3.0:attribute-category:action"
+    ENVIRONMENT = "urn:oasis:names:tc:xacml:3.0:attribute-category:environment"
+    #: Used by the Administration & Delegation profile (repro.admin.delegation).
+    DELEGATE = "urn:oasis:names:tc:xacml:3.0:attribute-category:delegate"
+
+    @property
+    def short_name(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_short_name(cls, name: str) -> "Category":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(f"unknown attribute category {name!r}") from None
+
+
+class DataType(enum.Enum):
+    """XML-Schema-derived data types supported by the engine."""
+
+    STRING = "http://www.w3.org/2001/XMLSchema#string"
+    BOOLEAN = "http://www.w3.org/2001/XMLSchema#boolean"
+    INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+    DOUBLE = "http://www.w3.org/2001/XMLSchema#double"
+    TIME = "http://www.w3.org/2001/XMLSchema#time"
+    DATE_TIME = "http://www.w3.org/2001/XMLSchema#dateTime"
+    ANY_URI = "http://www.w3.org/2001/XMLSchema#anyURI"
+    RFC822_NAME = "urn:oasis:names:tc:xacml:1.0:data-type:rfc822Name"
+    X500_NAME = "urn:oasis:names:tc:xacml:1.0:data-type:x500Name"
+
+    @classmethod
+    def from_uri(cls, uri: str) -> "DataType":
+        for member in cls:
+            if member.value == uri:
+                return member
+        raise ValueError(f"unsupported data type URI {uri!r}")
+
+
+_PYTHON_TYPES: dict[DataType, type | tuple[type, ...]] = {
+    DataType.STRING: str,
+    DataType.BOOLEAN: bool,
+    DataType.INTEGER: int,
+    DataType.DOUBLE: float,
+    DataType.TIME: float,  # seconds since simulated midnight
+    DataType.DATE_TIME: float,  # simulated epoch seconds
+    DataType.ANY_URI: str,
+    DataType.RFC822_NAME: str,
+    DataType.X500_NAME: str,
+}
+
+
+@dataclass(frozen=True)
+class AttributeValue:
+    """A single typed value, the atom of XACML evaluation."""
+
+    data_type: DataType
+    value: Any
+
+    def __post_init__(self) -> None:
+        expected = _PYTHON_TYPES[self.data_type]
+        if self.data_type is DataType.DOUBLE and isinstance(self.value, int):
+            object.__setattr__(self, "value", float(self.value))
+            return
+        if self.data_type is DataType.INTEGER and isinstance(self.value, bool):
+            raise TypeError("boolean is not a valid xacml integer")
+        if not isinstance(self.value, expected):
+            raise TypeError(
+                f"value {self.value!r} is not valid for {self.data_type.name} "
+                f"(expected {expected})"
+            )
+
+    def lexical(self) -> str:
+        """The XML lexical form used by the serializer."""
+        if self.data_type is DataType.BOOLEAN:
+            return "true" if self.value else "false"
+        return str(self.value)
+
+    @classmethod
+    def parse(cls, data_type: DataType, text: str) -> "AttributeValue":
+        """Inverse of :meth:`lexical`."""
+        if data_type is DataType.BOOLEAN:
+            lowered = text.strip().lower()
+            if lowered not in ("true", "false", "1", "0"):
+                raise ValueError(f"bad boolean lexical value {text!r}")
+            return cls(data_type, lowered in ("true", "1"))
+        if data_type is DataType.INTEGER:
+            return cls(data_type, int(text.strip()))
+        if data_type in (DataType.DOUBLE, DataType.TIME, DataType.DATE_TIME):
+            return cls(data_type, float(text.strip()))
+        return cls(data_type, text)
+
+
+def string(value: str) -> AttributeValue:
+    """Shorthand constructor for the most common value type."""
+    return AttributeValue(DataType.STRING, value)
+
+
+def integer(value: int) -> AttributeValue:
+    return AttributeValue(DataType.INTEGER, value)
+
+
+def double(value: float) -> AttributeValue:
+    return AttributeValue(DataType.DOUBLE, float(value))
+
+
+def boolean(value: bool) -> AttributeValue:
+    return AttributeValue(DataType.BOOLEAN, value)
+
+
+def any_uri(value: str) -> AttributeValue:
+    return AttributeValue(DataType.ANY_URI, value)
+
+
+def date_time(value: float) -> AttributeValue:
+    return AttributeValue(DataType.DATE_TIME, float(value))
+
+
+def time_of_day(value: float) -> AttributeValue:
+    return AttributeValue(DataType.TIME, float(value))
+
+
+class Bag:
+    """An unordered collection of same-typed attribute values.
+
+    Designators always resolve to bags (possibly empty); most functions
+    operate on single values obtained via ``one-and-only``.
+    """
+
+    def __init__(self, values: Iterable[AttributeValue] = ()) -> None:
+        self._values: tuple[AttributeValue, ...] = tuple(values)
+        types = {v.data_type for v in self._values}
+        if len(types) > 1:
+            raise TypeError(f"bag mixes data types: {sorted(t.name for t in types)}")
+
+    @property
+    def values(self) -> tuple[AttributeValue, ...]:
+        return self._values
+
+    def __iter__(self) -> Iterator[AttributeValue]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, item: AttributeValue) -> bool:
+        return item in self._values
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bag):
+            return NotImplemented
+        return sorted(v.lexical() for v in self) == sorted(
+            v.lexical() for v in other
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(v.lexical() for v in self._values[:4])
+        suffix = ", ..." if len(self._values) > 4 else ""
+        return f"Bag([{inner}{suffix}])"
+
+    def is_empty(self) -> bool:
+        return not self._values
+
+
+EMPTY_BAG = Bag()
+
+
+# Well-known attribute identifiers used throughout the repo.
+SUBJECT_ID = "urn:oasis:names:tc:xacml:1.0:subject:subject-id"
+SUBJECT_ROLE = "urn:oasis:names:tc:xacml:2.0:subject:role"
+SUBJECT_DOMAIN = "urn:repro:subject:home-domain"
+SUBJECT_CLEARANCE = "urn:repro:subject:clearance"
+RESOURCE_ID = "urn:oasis:names:tc:xacml:1.0:resource:resource-id"
+RESOURCE_OWNER = "urn:repro:resource:owner"
+RESOURCE_DOMAIN = "urn:repro:resource:domain"
+RESOURCE_CLASSIFICATION = "urn:repro:resource:classification"
+RESOURCE_CONFLICT_CLASS = "urn:repro:resource:conflict-of-interest-class"
+ACTION_ID = "urn:oasis:names:tc:xacml:1.0:action:action-id"
+ENVIRONMENT_TIME = "urn:oasis:names:tc:xacml:1.0:environment:current-time"
+ENVIRONMENT_DATE_TIME = "urn:oasis:names:tc:xacml:1.0:environment:current-dateTime"
+DELEGATE_ID = "urn:repro:delegate:delegate-id"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute: id, issuer and one or more typed values."""
+
+    attribute_id: str
+    values: tuple[AttributeValue, ...]
+    issuer: Optional[str] = None
+
+    @classmethod
+    def of(
+        cls, attribute_id: str, *values: AttributeValue, issuer: Optional[str] = None
+    ) -> "Attribute":
+        if not values:
+            raise ValueError(f"attribute {attribute_id!r} needs at least one value")
+        return cls(attribute_id=attribute_id, values=tuple(values), issuer=issuer)
+
+    @property
+    def data_type(self) -> DataType:
+        return self.values[0].data_type
+
+
+@dataclass(frozen=True)
+class AttributeDesignator:
+    """A reference to attribute values in a request category.
+
+    When evaluated it resolves to the bag of matching values; an empty bag
+    plus ``must_be_present=True`` yields Indeterminate (missing-attribute),
+    which is the hook PIP-based attribute retrieval plugs into.
+    """
+
+    category: Category
+    attribute_id: str
+    data_type: DataType
+    must_be_present: bool = False
+    issuer: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"{self.category.short_name}:{self.attribute_id}"
+
+
+def bag_of(*values: AttributeValue) -> Bag:
+    return Bag(values)

@@ -1,0 +1,182 @@
+"""Rule- and policy-combining algorithms.
+
+The paper (Sections 2.3 and 3.1) leans on combining algorithms as XACML's
+answer to policy conflict: "When an XACML-compliant decision point finds
+two or more policies ... with contradicting semantics then it uses one of
+the mentioned algorithms to make its access control decision."  We
+implement the four the paper names — deny-overrides, permit-overrides,
+first-applicable, only-one-applicable — plus their ordered variants,
+behind a registry so profiles can add more.
+
+Combiners operate over *evaluables*: anything with an
+``evaluate(ctx) -> (Decision, Status|None)`` signature; the policy module
+adapts rules and policies to that shape.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .context import Decision, Status, StatusCode
+
+RULE_DENY_OVERRIDES = "urn:oasis:names:tc:xacml:1.0:rule-combining-algorithm:deny-overrides"
+RULE_PERMIT_OVERRIDES = "urn:oasis:names:tc:xacml:1.0:rule-combining-algorithm:permit-overrides"
+RULE_FIRST_APPLICABLE = "urn:oasis:names:tc:xacml:1.0:rule-combining-algorithm:first-applicable"
+RULE_ORDERED_DENY_OVERRIDES = (
+    "urn:oasis:names:tc:xacml:1.1:rule-combining-algorithm:ordered-deny-overrides"
+)
+RULE_ORDERED_PERMIT_OVERRIDES = (
+    "urn:oasis:names:tc:xacml:1.1:rule-combining-algorithm:ordered-permit-overrides"
+)
+
+POLICY_DENY_OVERRIDES = (
+    "urn:oasis:names:tc:xacml:1.0:policy-combining-algorithm:deny-overrides"
+)
+POLICY_PERMIT_OVERRIDES = (
+    "urn:oasis:names:tc:xacml:1.0:policy-combining-algorithm:permit-overrides"
+)
+POLICY_FIRST_APPLICABLE = (
+    "urn:oasis:names:tc:xacml:1.0:policy-combining-algorithm:first-applicable"
+)
+POLICY_ONLY_ONE_APPLICABLE = (
+    "urn:oasis:names:tc:xacml:1.0:policy-combining-algorithm:only-one-applicable"
+)
+
+#: An evaluable yields (decision, status-or-None).
+Evaluable = Callable[[], tuple[Decision, Optional[Status]]]
+Combiner = Callable[[Sequence[Evaluable]], tuple[Decision, Optional[Status]]]
+
+_COMBINERS: dict[str, Combiner] = {}
+
+
+class CombiningError(Exception):
+    """Raised for unknown combining algorithm identifiers."""
+
+
+def register(identifier: str, combiner: Combiner) -> None:
+    if identifier in _COMBINERS:
+        raise ValueError(f"duplicate combining algorithm {identifier}")
+    _COMBINERS[identifier] = combiner
+
+
+def lookup(identifier: str) -> Combiner:
+    try:
+        return _COMBINERS[identifier]
+    except KeyError:
+        raise CombiningError(f"unknown combining algorithm {identifier!r}") from None
+
+
+def known_algorithms() -> frozenset[str]:
+    return frozenset(_COMBINERS)
+
+
+def deny_overrides(
+    children: Sequence[Evaluable],
+) -> tuple[Decision, Optional[Status]]:
+    """Deny wins over everything; Indeterminate is deny-biased.
+
+    Follows XACML 2.0 Appendix C.1: any Deny returns Deny immediately; an
+    Indeterminate is remembered and, per the deny-biased reading, reported
+    as Deny-leaning Indeterminate only if no Permit occurs — a potential
+    deny must not be masked by a later Permit, so Indeterminate wins over
+    Permit here.
+    """
+    saw_permit = False
+    saw_indeterminate: Optional[Status] = None
+    for child in children:
+        decision, status = child()
+        if decision is Decision.DENY:
+            return Decision.DENY, status
+        if decision is Decision.INDETERMINATE:
+            saw_indeterminate = status or Status(
+                code=StatusCode.PROCESSING_ERROR, message="child indeterminate"
+            )
+        elif decision is Decision.PERMIT:
+            saw_permit = True
+    if saw_indeterminate is not None:
+        # A child that errored *might* have denied: stay on the safe side.
+        return Decision.INDETERMINATE, saw_indeterminate
+    if saw_permit:
+        return Decision.PERMIT, None
+    return Decision.NOT_APPLICABLE, None
+
+
+def permit_overrides(
+    children: Sequence[Evaluable],
+) -> tuple[Decision, Optional[Status]]:
+    """Permit wins over everything; mirrors :func:`deny_overrides`."""
+    saw_deny = False
+    deny_status: Optional[Status] = None
+    saw_indeterminate: Optional[Status] = None
+    for child in children:
+        decision, status = child()
+        if decision is Decision.PERMIT:
+            return Decision.PERMIT, status
+        if decision is Decision.INDETERMINATE:
+            saw_indeterminate = status or Status(
+                code=StatusCode.PROCESSING_ERROR, message="child indeterminate"
+            )
+        elif decision is Decision.DENY:
+            saw_deny = True
+            deny_status = status
+    if saw_indeterminate is not None:
+        return Decision.INDETERMINATE, saw_indeterminate
+    if saw_deny:
+        return Decision.DENY, deny_status
+    return Decision.NOT_APPLICABLE, None
+
+
+def first_applicable(
+    children: Sequence[Evaluable],
+) -> tuple[Decision, Optional[Status]]:
+    """The first definitive or indeterminate child decides."""
+    for child in children:
+        decision, status = child()
+        if decision is Decision.NOT_APPLICABLE:
+            continue
+        return decision, status
+    return Decision.NOT_APPLICABLE, None
+
+
+def only_one_applicable(
+    children: Sequence[Evaluable],
+) -> tuple[Decision, Optional[Status]]:
+    """Exactly one child may apply; more than one is an error.
+
+    The paper cites this algorithm for environments where overlapping
+    authority would itself signal a configuration fault between domains.
+    """
+    applicable: Optional[tuple[Decision, Optional[Status]]] = None
+    for child in children:
+        decision, status = child()
+        if decision is Decision.NOT_APPLICABLE:
+            continue
+        if decision is Decision.INDETERMINATE:
+            return Decision.INDETERMINATE, status
+        if applicable is not None:
+            return (
+                Decision.INDETERMINATE,
+                Status(
+                    code=StatusCode.PROCESSING_ERROR,
+                    message="more than one policy applicable "
+                    "under only-one-applicable",
+                ),
+            )
+        applicable = (decision, status)
+    if applicable is None:
+        return Decision.NOT_APPLICABLE, None
+    return applicable
+
+
+register(RULE_DENY_OVERRIDES, deny_overrides)
+register(RULE_PERMIT_OVERRIDES, permit_overrides)
+register(RULE_FIRST_APPLICABLE, first_applicable)
+# Ordered variants differ from the base ones only in mandating document
+# order, which our sequential implementation already guarantees.
+register(RULE_ORDERED_DENY_OVERRIDES, deny_overrides)
+register(RULE_ORDERED_PERMIT_OVERRIDES, permit_overrides)
+
+register(POLICY_DENY_OVERRIDES, deny_overrides)
+register(POLICY_PERMIT_OVERRIDES, permit_overrides)
+register(POLICY_FIRST_APPLICABLE, first_applicable)
+register(POLICY_ONLY_ONE_APPLICABLE, only_one_applicable)

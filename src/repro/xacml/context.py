@@ -1,0 +1,256 @@
+"""XACML request/response context: the decision request/response protocol.
+
+The second half of what XACML standardises (besides the policy language)
+is "an access control decision request/response protocol" — the messages
+a PEP exchanges with a PDP.  :class:`RequestContext` and
+:class:`ResponseContext` are those messages; the XML forms live in
+:mod:`repro.xacml.serializer`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from .attributes import (
+    ACTION_ID,
+    Attribute,
+    AttributeValue,
+    Bag,
+    Category,
+    DataType,
+    RESOURCE_ID,
+    SUBJECT_ID,
+    string,
+)
+
+
+class Decision(enum.Enum):
+    """The four XACML decisions."""
+
+    PERMIT = "Permit"
+    DENY = "Deny"
+    NOT_APPLICABLE = "NotApplicable"
+    INDETERMINATE = "Indeterminate"
+
+    @property
+    def is_definitive(self) -> bool:
+        return self in (Decision.PERMIT, Decision.DENY)
+
+
+class StatusCode(enum.Enum):
+    """Standard XACML status codes carried in responses."""
+
+    OK = "urn:oasis:names:tc:xacml:1.0:status:ok"
+    MISSING_ATTRIBUTE = "urn:oasis:names:tc:xacml:1.0:status:missing-attribute"
+    SYNTAX_ERROR = "urn:oasis:names:tc:xacml:1.0:status:syntax-error"
+    PROCESSING_ERROR = "urn:oasis:names:tc:xacml:1.0:status:processing-error"
+
+
+@dataclass(frozen=True)
+class Status:
+    code: StatusCode = StatusCode.OK
+    message: str = ""
+
+    @property
+    def is_ok(self) -> bool:
+        return self.code is StatusCode.OK
+
+
+OK_STATUS = Status()
+
+
+@dataclass(frozen=True)
+class ObligationAssignment:
+    """One attribute assignment inside an obligation."""
+
+    attribute_id: str
+    value: AttributeValue
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """An action the PEP must perform when enforcing the decision.
+
+    ``fulfill_on`` names the decision (Permit or Deny) to which this
+    obligation attaches; a PEP that does not understand an obligation it
+    receives MUST deny access (XACML §7.14), which
+    :class:`repro.components.pep.PolicyEnforcementPoint` honours.
+    """
+
+    obligation_id: str
+    fulfill_on: Decision
+    assignments: tuple[ObligationAssignment, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.fulfill_on not in (Decision.PERMIT, Decision.DENY):
+            raise ValueError(
+                "obligations attach to Permit or Deny, "
+                f"not {self.fulfill_on.value}"
+            )
+
+    def assignment(self, attribute_id: str) -> Optional[AttributeValue]:
+        for item in self.assignments:
+            if item.attribute_id == attribute_id:
+                return item.value
+        return None
+
+
+class RequestContext:
+    """An access request: attributes grouped by category.
+
+    Build either directly from :class:`Attribute` lists or via
+    :meth:`simple`, the common subject/resource/action shorthand.
+    """
+
+    def __init__(
+        self, attributes: Optional[dict[Category, list[Attribute]]] = None
+    ) -> None:
+        self._attributes: dict[Category, list[Attribute]] = {
+            category: [] for category in Category
+        }
+        if attributes:
+            for category, attrs in attributes.items():
+                self._attributes[category] = list(attrs)
+
+    @classmethod
+    def simple(
+        cls,
+        subject_id: str,
+        resource_id: str,
+        action_id: str,
+        subject_attributes: Optional[dict[str, Iterable[AttributeValue]]] = None,
+        resource_attributes: Optional[dict[str, Iterable[AttributeValue]]] = None,
+        environment: Optional[dict[str, Iterable[AttributeValue]]] = None,
+    ) -> "RequestContext":
+        """Build the canonical {subject, resource, action} request."""
+        request = cls()
+        request.add(Category.SUBJECT, Attribute.of(SUBJECT_ID, string(subject_id)))
+        request.add(Category.RESOURCE, Attribute.of(RESOURCE_ID, string(resource_id)))
+        request.add(Category.ACTION, Attribute.of(ACTION_ID, string(action_id)))
+        for attr_id, values in (subject_attributes or {}).items():
+            request.add(Category.SUBJECT, Attribute(attr_id, tuple(values)))
+        for attr_id, values in (resource_attributes or {}).items():
+            request.add(Category.RESOURCE, Attribute(attr_id, tuple(values)))
+        for attr_id, values in (environment or {}).items():
+            request.add(Category.ENVIRONMENT, Attribute(attr_id, tuple(values)))
+        return request
+
+    def add(self, category: Category, attribute: Attribute) -> None:
+        self._attributes[category].append(attribute)
+
+    def attributes(self, category: Category) -> list[Attribute]:
+        return list(self._attributes[category])
+
+    def bag(
+        self,
+        category: Category,
+        attribute_id: str,
+        data_type: DataType,
+        issuer: Optional[str] = None,
+    ) -> Bag:
+        """Resolve a designator against this request's attributes."""
+        collected: list[AttributeValue] = []
+        for attribute in self._attributes[category]:
+            if attribute.attribute_id != attribute_id:
+                continue
+            if issuer is not None and attribute.issuer != issuer:
+                continue
+            collected.extend(
+                v for v in attribute.values if v.data_type is data_type
+            )
+        return Bag(collected)
+
+    def first_value(
+        self, category: Category, attribute_id: str
+    ) -> Optional[AttributeValue]:
+        for attribute in self._attributes[category]:
+            if attribute.attribute_id == attribute_id and attribute.values:
+                return attribute.values[0]
+        return None
+
+    @property
+    def subject_id(self) -> Optional[str]:
+        value = self.first_value(Category.SUBJECT, SUBJECT_ID)
+        return None if value is None else str(value.value)
+
+    @property
+    def resource_id(self) -> Optional[str]:
+        value = self.first_value(Category.RESOURCE, RESOURCE_ID)
+        return None if value is None else str(value.value)
+
+    @property
+    def action_id(self) -> Optional[str]:
+        value = self.first_value(Category.ACTION, ACTION_ID)
+        return None if value is None else str(value.value)
+
+    def cache_key(self) -> tuple:
+        """A hashable identity for decision caching (E6)."""
+        parts = []
+        for category in Category:
+            for attribute in sorted(
+                self._attributes[category], key=lambda a: a.attribute_id
+            ):
+                if category is Category.ENVIRONMENT:
+                    # Environment attributes (e.g. current time) change per
+                    # request and would defeat caching; the staleness risk
+                    # this creates is exactly what experiment E6 measures.
+                    continue
+                for value in attribute.values:
+                    parts.append(
+                        (category.value, attribute.attribute_id, value.lexical())
+                    )
+        return tuple(sorted(parts))
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestContext(subject={self.subject_id!r}, "
+            f"resource={self.resource_id!r}, action={self.action_id!r})"
+        )
+
+
+@dataclass(frozen=True)
+class Result:
+    """One result inside a response context."""
+
+    decision: Decision
+    status: Status = OK_STATUS
+    obligations: tuple[Obligation, ...] = ()
+    resource_id: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ResponseContext:
+    """The PDP's answer to a request context."""
+
+    results: tuple[Result, ...]
+
+    @classmethod
+    def single(
+        cls,
+        decision: Decision,
+        status: Status = OK_STATUS,
+        obligations: Iterable[Obligation] = (),
+        resource_id: Optional[str] = None,
+    ) -> "ResponseContext":
+        return cls(
+            results=(
+                Result(
+                    decision=decision,
+                    status=status,
+                    obligations=tuple(obligations),
+                    resource_id=resource_id,
+                ),
+            )
+        )
+
+    @property
+    def result(self) -> Result:
+        if len(self.results) != 1:
+            raise ValueError(f"response has {len(self.results)} results, expected 1")
+        return self.results[0]
+
+    @property
+    def decision(self) -> Decision:
+        return self.result.decision

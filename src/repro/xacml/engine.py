@@ -1,0 +1,239 @@
+"""The XACML evaluation engine: what beats inside every PDP.
+
+The engine evaluates a request context against a policy store and returns
+a response context.  Two store strategies are provided:
+
+* :class:`PolicyStore` — the straightforward "evaluate the root element"
+  model of the standard;
+* target indexing — an optimisation that buckets policies by the literal
+  subject/resource/action equality constraints in their targets, so that
+  requests only evaluate plausibly-applicable policies.  This is the
+  mechanism behind the scalability shape of experiment E14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from . import combining
+from .attributes import ACTION_ID, Category, DataType, RESOURCE_ID, SUBJECT_ID
+from .context import (
+    Decision,
+    RequestContext,
+    ResponseContext,
+    Status,
+    StatusCode,
+)
+from .expressions import AttributeFinder, EvaluationContext
+from .policy import Policy, PolicyResult, PolicySet, child_identifier
+
+PolicyElement = Union[Policy, PolicySet]
+
+
+@dataclass
+class EvaluationStats:
+    """Per-request work counters, surfaced to benchmarks."""
+
+    policies_considered: int = 0
+    policies_skipped_by_index: int = 0
+    finder_calls: int = 0
+
+
+class PolicyStore:
+    """Holds top-level policy elements and finds the applicable ones.
+
+    With ``indexed=True`` the store maintains inverted indexes over the
+    literal equality keys of each element's target.  A request then only
+    evaluates elements whose indexed constraints are satisfiable, plus all
+    unindexable elements.  Indexing never changes decisions — only which
+    elements get *checked* — and a property test asserts exactly that.
+    """
+
+    def __init__(self, indexed: bool = True) -> None:
+        self.indexed = indexed
+        self._elements: dict[str, PolicyElement] = {}
+        self._index: dict[tuple[Category, str, str], set[str]] = {}
+        self._unindexable: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def add(self, element: PolicyElement) -> None:
+        identifier = child_identifier(element)
+        if identifier in self._elements:
+            raise ValueError(f"duplicate policy element id {identifier!r}")
+        self._elements[identifier] = element
+        self._index_element(identifier, element)
+
+    def remove(self, identifier: str) -> None:
+        self._elements.pop(identifier, None)
+        self._unindexable.discard(identifier)
+        for bucket in self._index.values():
+            bucket.discard(identifier)
+
+    def replace(self, element: PolicyElement) -> None:
+        self.remove(child_identifier(element))
+        self.add(element)
+
+    def get(self, identifier: str) -> Optional[PolicyElement]:
+        return self._elements.get(identifier)
+
+    def elements(self) -> list[PolicyElement]:
+        return list(self._elements.values())
+
+    def _index_element(self, identifier: str, element: PolicyElement) -> None:
+        if not self.indexed:
+            self._unindexable.add(identifier)
+            return
+        keys = element.target.literal_equality_keys()
+        # Index on the three canonical identifiers only; anything else is
+        # resolvable via PIP and cannot be judged from the raw request.
+        indexable = {
+            (Category.SUBJECT, SUBJECT_ID),
+            (Category.RESOURCE, RESOURCE_ID),
+            (Category.ACTION, ACTION_ID),
+        }
+        chosen: Optional[tuple[Category, str]] = None
+        for key in keys:
+            if key in indexable:
+                chosen = key
+                break
+        if chosen is None:
+            self._unindexable.add(identifier)
+            return
+        for value in keys[chosen]:
+            self._index.setdefault((chosen[0], chosen[1], value), set()).add(
+                identifier
+            )
+
+    def candidates(
+        self, request: RequestContext, stats: Optional[EvaluationStats] = None
+    ) -> list[PolicyElement]:
+        """Elements worth evaluating for this request, in insertion order."""
+        if not self.indexed:
+            return self.elements()
+        wanted: set[str] = set(self._unindexable)
+        lookups = (
+            (Category.SUBJECT, SUBJECT_ID, request.subject_id),
+            (Category.RESOURCE, RESOURCE_ID, request.resource_id),
+            (Category.ACTION, ACTION_ID, request.action_id),
+        )
+        for category, attribute_id, value in lookups:
+            if value is None:
+                continue
+            wanted |= self._index.get((category, attribute_id, value), set())
+        if stats is not None:
+            stats.policies_skipped_by_index += len(self._elements) - len(wanted)
+        return [
+            element
+            for identifier, element in self._elements.items()
+            if identifier in wanted
+        ]
+
+
+@dataclass
+class EngineResponse:
+    """Response context plus evaluation statistics."""
+
+    response: ResponseContext
+    stats: EvaluationStats = field(default_factory=EvaluationStats)
+
+    @property
+    def decision(self) -> Decision:
+        return self.response.decision
+
+
+class PdpEngine:
+    """Evaluates requests against a policy store.
+
+    Args:
+        store: the policy store to evaluate against.
+        policy_combining: algorithm merging the decisions of multiple
+            applicable top-level elements.
+        attribute_finder: PIP hook for attributes absent from requests.
+    """
+
+    def __init__(
+        self,
+        store: Optional[PolicyStore] = None,
+        policy_combining: str = combining.POLICY_DENY_OVERRIDES,
+        attribute_finder: Optional[AttributeFinder] = None,
+    ) -> None:
+        self.store = store if store is not None else PolicyStore()
+        self.policy_combining = policy_combining
+        combining.lookup(policy_combining)
+        self.attribute_finder = attribute_finder
+        self.evaluations = 0
+
+    def add_policy(self, element: PolicyElement) -> None:
+        self.store.add(element)
+
+    def add_policies(self, elements: Iterable[PolicyElement]) -> None:
+        for element in elements:
+            self.store.add(element)
+
+    def evaluate(
+        self, request: RequestContext, current_time: float = 0.0
+    ) -> EngineResponse:
+        """Evaluate a request and produce a single-result response."""
+        self.evaluations += 1
+        stats = EvaluationStats()
+        ctx = EvaluationContext(
+            request=request,
+            current_time=current_time,
+            attribute_finder=self.attribute_finder,
+            reference_resolver=self.store.get,
+        )
+        candidates = self.store.candidates(request, stats)
+        stats.policies_considered = len(candidates)
+        results: list[PolicyResult] = []
+
+        def make_evaluable(element: PolicyElement):
+            def run():
+                result = element.evaluate(ctx)
+                results.append(result)
+                return result.decision, result.status
+
+            return run
+
+        combiner = combining.lookup(self.policy_combining)
+        decision, status = combiner([make_evaluable(c) for c in candidates])
+        obligations = tuple(
+            ob
+            for result in results
+            if result.decision is decision
+            for ob in result.obligations
+            if ob.fulfill_on is decision
+        )
+        stats.finder_calls = ctx.finder_calls
+        response = ResponseContext.single(
+            decision=decision,
+            status=status or Status(),
+            obligations=obligations,
+            resource_id=request.resource_id,
+        )
+        return EngineResponse(response=response, stats=stats)
+
+    def decide(
+        self, request: RequestContext, current_time: float = 0.0
+    ) -> Decision:
+        """Shorthand when only the decision matters."""
+        return self.evaluate(request, current_time).decision
+
+
+def evaluate_element(
+    element: PolicyElement,
+    request: RequestContext,
+    current_time: float = 0.0,
+    attribute_finder: Optional[AttributeFinder] = None,
+    reference_resolver=None,
+) -> PolicyResult:
+    """Evaluate a single policy element outside any engine (test helper)."""
+    ctx = EvaluationContext(
+        request=request,
+        current_time=current_time,
+        attribute_finder=attribute_finder,
+        reference_resolver=reference_resolver,
+    )
+    return element.evaluate(ctx)

@@ -1,0 +1,267 @@
+"""Expression evaluation: Apply trees, designators and conditions.
+
+A rule's ``Condition`` is an arbitrary expression tree that must evaluate
+to a single boolean.  Evaluation happens against an
+:class:`EvaluationContext`, which wraps the request, the simulated clock
+and the PIP attribute-resolution hook; failures surface as
+:class:`Indeterminate`, carrying the XACML status code that ends up in the
+response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Protocol, Union
+
+from . import functions
+from .attributes import (
+    Attribute,
+    AttributeDesignator,
+    AttributeValue,
+    Bag,
+    Category,
+    DataType,
+)
+from .context import Decision, RequestContext, Status, StatusCode
+
+
+class Indeterminate(Exception):
+    """Evaluation could not complete; maps to the Indeterminate decision."""
+
+    def __init__(
+        self, message: str, code: StatusCode = StatusCode.PROCESSING_ERROR
+    ) -> None:
+        super().__init__(message)
+        self.status = Status(code=code, message=message)
+
+
+class AttributeFinder(Protocol):
+    """PIP hook: resolve attributes absent from the request context.
+
+    Returns a list of values (possibly empty).  The PDP wires this to its
+    configured Policy Information Points; a bare engine uses none.
+    """
+
+    def __call__(
+        self, category: Category, attribute_id: str, data_type: DataType
+    ) -> list[AttributeValue]: ...
+
+
+@dataclass
+class EvaluationContext:
+    """Everything an expression may consult during evaluation."""
+
+    request: RequestContext
+    current_time: float = 0.0
+    attribute_finder: Optional[AttributeFinder] = None
+    #: Attributes pulled in via the finder, recorded for the E4 data-flow
+    #: trace and for audit.
+    resolved_attributes: list[tuple[Category, str]] = field(default_factory=list)
+    #: Number of finder invocations (PIP round-trips in the simulation).
+    finder_calls: int = 0
+    #: Resolver for PolicyIdReference children (wired to the engine's
+    #: policy store); ``None`` makes references evaluate Indeterminate.
+    reference_resolver: Optional[Callable[[str], Any]] = None
+    #: Reference ids currently being resolved (cycle guard).
+    _reference_stack: set = field(default_factory=set)
+
+    def resolve(self, designator: AttributeDesignator) -> Bag:
+        """Resolve a designator: request first, then the PIP finder."""
+        bag = self.request.bag(
+            designator.category,
+            designator.attribute_id,
+            designator.data_type,
+            designator.issuer,
+        )
+        if bag.is_empty() and self.attribute_finder is not None:
+            self.finder_calls += 1
+            values = self.attribute_finder(
+                designator.category, designator.attribute_id, designator.data_type
+            )
+            if values:
+                self.resolved_attributes.append(
+                    (designator.category, designator.attribute_id)
+                )
+                bag = Bag(values)
+        if bag.is_empty() and designator.must_be_present:
+            raise Indeterminate(
+                f"missing required attribute {designator.describe()}",
+                code=StatusCode.MISSING_ATTRIBUTE,
+            )
+        return bag
+
+
+class Expression:
+    """Base class for the expression tree."""
+
+    def evaluate(self, ctx: EvaluationContext) -> Union[AttributeValue, Bag]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant attribute value."""
+
+    value: AttributeValue
+
+    def evaluate(self, ctx: EvaluationContext) -> AttributeValue:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Designator(Expression):
+    """An attribute designator as an expression node (yields a bag)."""
+
+    designator: AttributeDesignator
+
+    def evaluate(self, ctx: EvaluationContext) -> Bag:
+        return ctx.resolve(self.designator)
+
+
+@dataclass(frozen=True)
+class Apply(Expression):
+    """Application of a registered function to argument expressions."""
+
+    function_id: str
+    arguments: tuple[Expression, ...]
+
+    def evaluate(self, ctx: EvaluationContext) -> Union[AttributeValue, Bag]:
+        func = functions.lookup(self.function_id)
+        args = [argument.evaluate(ctx) for argument in self.arguments]
+        try:
+            return func(*args)
+        except functions.FunctionError as exc:
+            raise Indeterminate(
+                f"error applying {self.function_id}: {exc}"
+            ) from exc
+
+
+# Higher-order functions need access to unevaluated function references, so
+# they are modelled as dedicated expression nodes rather than registry
+# entries.
+
+
+@dataclass(frozen=True)
+class AnyOfFunction(Expression):
+    """XACML ``any-of``: apply f(value, element) over a bag, OR results."""
+
+    function_id: str
+    value: Expression
+    bag: Expression
+
+    def evaluate(self, ctx: EvaluationContext) -> AttributeValue:
+        func = functions.lookup(self.function_id)
+        value = self.value.evaluate(ctx)
+        bag = self.bag.evaluate(ctx)
+        if not isinstance(bag, Bag):
+            raise Indeterminate("any-of: second argument must be a bag")
+        for element in bag:
+            try:
+                result = func(value, element)
+            except functions.FunctionError as exc:
+                raise Indeterminate(f"any-of: {exc}") from exc
+            if isinstance(result, AttributeValue) and result.value is True:
+                return AttributeValue(DataType.BOOLEAN, True)
+        return AttributeValue(DataType.BOOLEAN, False)
+
+
+@dataclass(frozen=True)
+class AllOfFunction(Expression):
+    """XACML ``all-of``: apply f(value, element) over a bag, AND results."""
+
+    function_id: str
+    value: Expression
+    bag: Expression
+
+    def evaluate(self, ctx: EvaluationContext) -> AttributeValue:
+        func = functions.lookup(self.function_id)
+        value = self.value.evaluate(ctx)
+        bag = self.bag.evaluate(ctx)
+        if not isinstance(bag, Bag):
+            raise Indeterminate("all-of: second argument must be a bag")
+        for element in bag:
+            try:
+                result = func(value, element)
+            except functions.FunctionError as exc:
+                raise Indeterminate(f"all-of: {exc}") from exc
+            if not (isinstance(result, AttributeValue) and result.value is True):
+                return AttributeValue(DataType.BOOLEAN, False)
+        return AttributeValue(DataType.BOOLEAN, True)
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A rule condition: an expression that must yield a single boolean."""
+
+    expression: Expression
+
+    def evaluate(self, ctx: EvaluationContext) -> bool:
+        result = self.expression.evaluate(ctx)
+        if isinstance(result, Bag):
+            raise Indeterminate("condition evaluated to a bag, expected boolean")
+        if result.data_type is not DataType.BOOLEAN:
+            raise Indeterminate(
+                f"condition evaluated to {result.data_type.name}, expected boolean"
+            )
+        return bool(result.value)
+
+
+# -- convenience builders -----------------------------------------------------
+
+
+def literal(value: AttributeValue) -> Literal:
+    return Literal(value)
+
+
+def designator(
+    category: Category,
+    attribute_id: str,
+    data_type: DataType = DataType.STRING,
+    must_be_present: bool = False,
+) -> Designator:
+    return Designator(
+        AttributeDesignator(
+            category=category,
+            attribute_id=attribute_id,
+            data_type=data_type,
+            must_be_present=must_be_present,
+        )
+    )
+
+
+def apply_(function_id: str, *arguments: Expression) -> Apply:
+    return Apply(function_id=function_id, arguments=tuple(arguments))
+
+
+def attribute_equals(
+    category: Category,
+    attribute_id: str,
+    value: AttributeValue,
+    must_be_present: bool = False,
+) -> Condition:
+    """Condition: the designated attribute bag contains ``value``."""
+    type_name = _type_short_name(value.data_type)
+    return Condition(
+        apply_(
+            f"{functions.FUNCTION_PREFIX_1_0}{type_name}-is-in",
+            literal(value),
+            designator(
+                category, attribute_id, value.data_type, must_be_present
+            ),
+        )
+    )
+
+
+def _type_short_name(data_type: DataType) -> str:
+    names = {
+        DataType.STRING: "string",
+        DataType.BOOLEAN: "boolean",
+        DataType.INTEGER: "integer",
+        DataType.DOUBLE: "double",
+        DataType.TIME: "time",
+        DataType.DATE_TIME: "dateTime",
+        DataType.ANY_URI: "anyURI",
+        DataType.RFC822_NAME: "rfc822Name",
+        DataType.X500_NAME: "x500Name",
+    }
+    return names[data_type]

@@ -1,0 +1,329 @@
+"""Parsing XACML XML back into objects (inverse of the serializer).
+
+Round-tripping (``parse(serialize(x)) == x`` up to object identity) is
+asserted by property-based tests; the parser is also what PDPs use when
+policies arrive over the wire from PAPs and syndication servers.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Union
+
+from .attributes import (
+    Attribute,
+    AttributeDesignator,
+    AttributeValue,
+    Category,
+    DataType,
+)
+from .context import (
+    Decision,
+    Obligation,
+    ObligationAssignment,
+    RequestContext,
+    ResponseContext,
+    Result,
+    Status,
+    StatusCode,
+)
+from .expressions import (
+    AllOfFunction,
+    AnyOfFunction,
+    Apply,
+    Condition,
+    Designator,
+    Expression,
+    Literal,
+)
+from .policy import Policy, PolicyReference, PolicySet
+from .rules import Rule
+from .serializer import ALL_OF_FUNCTION_ID, ANY_OF_FUNCTION_ID
+from .targets import AllOf, AnyOf, Match, Target
+
+
+class ParseError(Exception):
+    """Raised when a document is not well-formed XACML."""
+
+
+def _category_from_uri(uri: str) -> Category:
+    for member in Category:
+        if member.value == uri:
+            return member
+    raise ParseError(f"unknown attribute category URI {uri!r}")
+
+
+def _parse_value(element: ET.Element) -> AttributeValue:
+    uri = element.get("DataType")
+    if uri is None:
+        raise ParseError("AttributeValue missing DataType")
+    try:
+        data_type = DataType.from_uri(uri)
+    except ValueError as exc:
+        raise ParseError(str(exc)) from exc
+    return AttributeValue.parse(data_type, element.text or "")
+
+
+def _parse_designator(element: ET.Element) -> AttributeDesignator:
+    category_uri = element.get("Category")
+    attribute_id = element.get("AttributeId")
+    data_type_uri = element.get("DataType")
+    if not (category_uri and attribute_id and data_type_uri):
+        raise ParseError("AttributeDesignator missing required attributes")
+    try:
+        data_type = DataType.from_uri(data_type_uri)
+    except ValueError as exc:
+        raise ParseError(str(exc)) from exc
+    return AttributeDesignator(
+        category=_category_from_uri(category_uri),
+        attribute_id=attribute_id,
+        data_type=data_type,
+        must_be_present=element.get("MustBePresent", "false") == "true",
+        issuer=element.get("Issuer"),
+    )
+
+
+def _parse_expression(element: ET.Element) -> Expression:
+    if element.tag == "AttributeValue":
+        return Literal(_parse_value(element))
+    if element.tag == "AttributeDesignator":
+        return Designator(_parse_designator(element))
+    if element.tag == "Apply":
+        function_id = element.get("FunctionId")
+        if function_id is None:
+            raise ParseError("Apply missing FunctionId")
+        children = list(element)
+        if function_id in (ANY_OF_FUNCTION_ID, ALL_OF_FUNCTION_ID):
+            if len(children) != 3 or children[0].tag != "Function":
+                raise ParseError(
+                    f"higher-order {function_id} needs Function + 2 arguments"
+                )
+            inner = children[0].get("FunctionId")
+            if inner is None:
+                raise ParseError("Function element missing FunctionId")
+            value = _parse_expression(children[1])
+            bag = _parse_expression(children[2])
+            cls = (
+                AnyOfFunction
+                if function_id == ANY_OF_FUNCTION_ID
+                else AllOfFunction
+            )
+            return cls(function_id=inner, value=value, bag=bag)
+        return Apply(
+            function_id=function_id,
+            arguments=tuple(_parse_expression(child) for child in children),
+        )
+    raise ParseError(f"unexpected expression element <{element.tag}>")
+
+
+def _parse_target(element: ET.Element | None) -> Target:
+    if element is None:
+        return Target()
+    any_ofs = []
+    for any_el in element.findall("AnyOf"):
+        all_ofs = []
+        for all_el in any_el.findall("AllOf"):
+            matches = []
+            for match_el in all_el.findall("Match"):
+                match_id = match_el.get("MatchId")
+                if match_id is None:
+                    raise ParseError("Match missing MatchId")
+                value_el = match_el.find("AttributeValue")
+                desig_el = match_el.find("AttributeDesignator")
+                if value_el is None or desig_el is None:
+                    raise ParseError(
+                        "Match needs AttributeValue and AttributeDesignator"
+                    )
+                matches.append(
+                    Match(
+                        match_function=match_id,
+                        value=_parse_value(value_el),
+                        designator=_parse_designator(desig_el),
+                    )
+                )
+            all_ofs.append(AllOf(matches=tuple(matches)))
+        any_ofs.append(AnyOf(all_ofs=tuple(all_ofs)))
+    return Target(any_ofs=tuple(any_ofs))
+
+
+def _parse_obligations(element: ET.Element | None) -> tuple[Obligation, ...]:
+    if element is None:
+        return ()
+    obligations = []
+    for ob_el in element.findall("Obligation"):
+        obligation_id = ob_el.get("ObligationId")
+        fulfill_on = ob_el.get("FulfillOn")
+        if obligation_id is None or fulfill_on is None:
+            raise ParseError("Obligation missing ObligationId or FulfillOn")
+        assignments = []
+        for assign_el in ob_el.findall("AttributeAssignment"):
+            attribute_id = assign_el.get("AttributeId")
+            data_type_uri = assign_el.get("DataType")
+            if attribute_id is None or data_type_uri is None:
+                raise ParseError("AttributeAssignment missing attributes")
+            data_type = DataType.from_uri(data_type_uri)
+            assignments.append(
+                ObligationAssignment(
+                    attribute_id=attribute_id,
+                    value=AttributeValue.parse(data_type, assign_el.text or ""),
+                )
+            )
+        obligations.append(
+            Obligation(
+                obligation_id=obligation_id,
+                fulfill_on=Decision(fulfill_on),
+                assignments=tuple(assignments),
+            )
+        )
+    return tuple(obligations)
+
+
+def _parse_rule(element: ET.Element) -> Rule:
+    rule_id = element.get("RuleId")
+    effect = element.get("Effect")
+    if rule_id is None or effect is None:
+        raise ParseError("Rule missing RuleId or Effect")
+    description_el = element.find("Description")
+    condition_el = element.find("Condition")
+    condition = None
+    if condition_el is not None:
+        children = list(condition_el)
+        if len(children) != 1:
+            raise ParseError("Condition must contain exactly one expression")
+        condition = Condition(_parse_expression(children[0]))
+    return Rule(
+        rule_id=rule_id,
+        effect=Decision(effect),
+        target=_parse_target(element.find("Target")),
+        condition=condition,
+        description=(description_el.text or "") if description_el is not None else "",
+    )
+
+
+def parse_policy_element(element: ET.Element) -> Policy:
+    policy_id = element.get("PolicyId")
+    rule_combining = element.get("RuleCombiningAlgId")
+    if policy_id is None or rule_combining is None:
+        raise ParseError("Policy missing PolicyId or RuleCombiningAlgId")
+    description_el = element.find("Description")
+    return Policy(
+        policy_id=policy_id,
+        rules=tuple(_parse_rule(rule_el) for rule_el in element.findall("Rule")),
+        rule_combining=rule_combining,
+        target=_parse_target(element.find("Target")),
+        obligations=_parse_obligations(element.find("Obligations")),
+        description=(description_el.text or "") if description_el is not None else "",
+        version=element.get("Version", "1.0"),
+        issuer=element.get("Issuer"),
+    )
+
+
+def parse_policy_set_element(element: ET.Element) -> PolicySet:
+    policy_set_id = element.get("PolicySetId")
+    policy_combining = element.get("PolicyCombiningAlgId")
+    if policy_set_id is None or policy_combining is None:
+        raise ParseError("PolicySet missing PolicySetId or PolicyCombiningAlgId")
+    children: list[Union[Policy, PolicySet, PolicyReference]] = []
+    for child in element:
+        if child.tag == "Policy":
+            children.append(parse_policy_element(child))
+        elif child.tag == "PolicySet":
+            children.append(parse_policy_set_element(child))
+        elif child.tag == "PolicyIdReference":
+            if not child.text:
+                raise ParseError("empty PolicyIdReference")
+            children.append(PolicyReference(reference_id=child.text))
+    description_el = element.find("Description")
+    return PolicySet(
+        policy_set_id=policy_set_id,
+        children=tuple(children),
+        policy_combining=policy_combining,
+        target=_parse_target(element.find("Target")),
+        obligations=_parse_obligations(element.find("Obligations")),
+        description=(description_el.text or "") if description_el is not None else "",
+        version=element.get("Version", "1.0"),
+        issuer=element.get("Issuer"),
+    )
+
+
+def parse_policy(xml_text: str) -> Union[Policy, PolicySet]:
+    """Parse XML text into a Policy or PolicySet."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise ParseError(f"malformed XML: {exc}") from exc
+    if root.tag == "Policy":
+        return parse_policy_element(root)
+    if root.tag == "PolicySet":
+        return parse_policy_set_element(root)
+    raise ParseError(f"expected <Policy> or <PolicySet>, got <{root.tag}>")
+
+
+def parse_request(xml_text: str) -> RequestContext:
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise ParseError(f"malformed XML: {exc}") from exc
+    if root.tag != "Request":
+        raise ParseError(f"expected <Request>, got <{root.tag}>")
+    request = RequestContext()
+    for cat_el in root.findall("Attributes"):
+        category_uri = cat_el.get("Category")
+        if category_uri is None:
+            raise ParseError("Attributes missing Category")
+        category = _category_from_uri(category_uri)
+        for attr_el in cat_el.findall("Attribute"):
+            attribute_id = attr_el.get("AttributeId")
+            if attribute_id is None:
+                raise ParseError("Attribute missing AttributeId")
+            values = tuple(
+                _parse_value(v) for v in attr_el.findall("AttributeValue")
+            )
+            if not values:
+                raise ParseError(f"attribute {attribute_id!r} has no values")
+            request.add(
+                category,
+                Attribute(
+                    attribute_id=attribute_id,
+                    values=values,
+                    issuer=attr_el.get("Issuer"),
+                ),
+            )
+    return request
+
+
+def parse_response(xml_text: str) -> ResponseContext:
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise ParseError(f"malformed XML: {exc}") from exc
+    if root.tag != "Response":
+        raise ParseError(f"expected <Response>, got <{root.tag}>")
+    results = []
+    for result_el in root.findall("Result"):
+        decision_el = result_el.find("Decision")
+        if decision_el is None or not decision_el.text:
+            raise ParseError("Result missing Decision")
+        status = Status()
+        status_el = result_el.find("Status")
+        if status_el is not None:
+            code_el = status_el.find("StatusCode")
+            message_el = status_el.find("StatusMessage")
+            code = StatusCode.OK
+            if code_el is not None and code_el.get("Value"):
+                code = StatusCode(code_el.get("Value"))
+            status = Status(
+                code=code,
+                message=(message_el.text or "") if message_el is not None else "",
+            )
+        results.append(
+            Result(
+                decision=Decision(decision_el.text),
+                status=status,
+                obligations=_parse_obligations(result_el.find("Obligations")),
+                resource_id=result_el.get("ResourceId"),
+            )
+        )
+    if not results:
+        raise ParseError("Response has no Result")
+    return ResponseContext(results=tuple(results))

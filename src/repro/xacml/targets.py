@@ -1,0 +1,184 @@
+"""Targets: the applicability test of rules, policies and policy sets.
+
+A target is a disjunction (AnyOf) of conjunctions (AllOf) of individual
+:class:`Match` elements, each comparing a literal against a designated
+request attribute.  Targets decide *whether a policy applies at all*,
+before conditions run — and they are the structure the engine indexes to
+stay fast at scale (experiment E14).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from . import functions
+from .attributes import (
+    ACTION_ID,
+    AttributeDesignator,
+    AttributeValue,
+    Category,
+    DataType,
+    RESOURCE_ID,
+    SUBJECT_ID,
+    string,
+)
+from .expressions import EvaluationContext, Indeterminate, _type_short_name
+
+
+class MatchResult(enum.Enum):
+    MATCH = "match"
+    NO_MATCH = "no-match"
+    INDETERMINATE = "indeterminate"
+
+
+@dataclass(frozen=True)
+class Match:
+    """One Match element: ``function(literal, candidate)`` over a bag.
+
+    Per the standard, a Match is true if the function returns true for
+    *any* value in the designated bag.
+    """
+
+    match_function: str
+    value: AttributeValue
+    designator: AttributeDesignator
+
+    def evaluate(self, ctx: EvaluationContext) -> MatchResult:
+        func = functions.lookup(self.match_function)
+        try:
+            bag = ctx.resolve(self.designator)
+        except Indeterminate:
+            return MatchResult.INDETERMINATE
+        saw_error = False
+        for candidate in bag:
+            try:
+                result = func(self.value, candidate)
+            except functions.FunctionError:
+                saw_error = True
+                continue
+            if isinstance(result, AttributeValue) and result.value is True:
+                return MatchResult.MATCH
+        if saw_error:
+            return MatchResult.INDETERMINATE
+        return MatchResult.NO_MATCH
+
+
+@dataclass(frozen=True)
+class AllOf:
+    """A conjunction of matches; true only if every match is true."""
+
+    matches: tuple[Match, ...]
+
+    def evaluate(self, ctx: EvaluationContext) -> MatchResult:
+        indeterminate = False
+        for match in self.matches:
+            result = match.evaluate(ctx)
+            if result is MatchResult.NO_MATCH:
+                return MatchResult.NO_MATCH
+            if result is MatchResult.INDETERMINATE:
+                indeterminate = True
+        if indeterminate:
+            return MatchResult.INDETERMINATE
+        return MatchResult.MATCH
+
+
+@dataclass(frozen=True)
+class AnyOf:
+    """A disjunction of AllOf groups; true if any group is true."""
+
+    all_ofs: tuple[AllOf, ...]
+
+    def evaluate(self, ctx: EvaluationContext) -> MatchResult:
+        indeterminate = False
+        for all_of in self.all_ofs:
+            result = all_of.evaluate(ctx)
+            if result is MatchResult.MATCH:
+                return MatchResult.MATCH
+            if result is MatchResult.INDETERMINATE:
+                indeterminate = True
+        if indeterminate:
+            return MatchResult.INDETERMINATE
+        return MatchResult.NO_MATCH
+
+
+@dataclass(frozen=True)
+class Target:
+    """Applicability predicate; an empty target matches everything."""
+
+    any_ofs: tuple[AnyOf, ...] = ()
+
+    def evaluate(self, ctx: EvaluationContext) -> MatchResult:
+        indeterminate = False
+        for any_of in self.any_ofs:
+            result = any_of.evaluate(ctx)
+            if result is MatchResult.NO_MATCH:
+                return MatchResult.NO_MATCH
+            if result is MatchResult.INDETERMINATE:
+                indeterminate = True
+        if indeterminate:
+            return MatchResult.INDETERMINATE
+        return MatchResult.MATCH
+
+    @property
+    def matches_everything(self) -> bool:
+        return not self.any_ofs
+
+    def literal_equality_keys(self) -> dict[tuple[Category, str], set[str]]:
+        """Extract {(category, attribute_id): {values}} for target indexing.
+
+        Only single-AllOf/single-Match equality structures are indexable;
+        anything richer falls back to linear scan.  Used by the engine's
+        policy finder for E14 scalability.
+        """
+        keys: dict[tuple[Category, str], set[str]] = {}
+        for any_of in self.any_ofs:
+            for all_of in any_of.all_ofs:
+                for match in all_of.matches:
+                    if not match.match_function.endswith("-equal"):
+                        continue
+                    key = (match.designator.category, match.designator.attribute_id)
+                    keys.setdefault(key, set()).add(match.value.lexical())
+        return keys
+
+
+ANY_TARGET = Target()
+
+
+def match_equal(
+    category: Category, attribute_id: str, value: AttributeValue
+) -> Match:
+    """Build the ubiquitous equality match."""
+    type_name = _type_short_name(value.data_type)
+    return Match(
+        match_function=f"{functions.FUNCTION_PREFIX_1_0}{type_name}-equal",
+        value=value,
+        designator=AttributeDesignator(
+            category=category, attribute_id=attribute_id, data_type=value.data_type
+        ),
+    )
+
+
+def target_of(*matches: Match) -> Target:
+    """A target requiring all given matches (one AnyOf/AllOf each)."""
+    return Target(
+        any_ofs=tuple(AnyOf(all_ofs=(AllOf(matches=(m,)),)) for m in matches)
+    )
+
+
+def subject_resource_action_target(
+    subject_id: str | None = None,
+    resource_id: str | None = None,
+    action_id: str | None = None,
+) -> Target:
+    """The canonical {subject, resource, action} target, any part optional."""
+    matches = []
+    if subject_id is not None:
+        matches.append(match_equal(Category.SUBJECT, SUBJECT_ID, string(subject_id)))
+    if resource_id is not None:
+        matches.append(
+            match_equal(Category.RESOURCE, RESOURCE_ID, string(resource_id))
+        )
+    if action_id is not None:
+        matches.append(match_equal(Category.ACTION, ACTION_ID, string(action_id)))
+    return target_of(*matches)

@@ -1,0 +1,96 @@
+"""Property-based tests for delegation reduction soundness.
+
+Invariants:
+
+* **soundness**: whenever ``reduce`` says valid, the returned chain
+  really connects a root to the issuer, every hop covers the scope, and
+  the depth budget is respected at every hop;
+* **revocation completeness**: after removing *all* grants, nothing but
+  roots reduces.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.admin import DelegationError, DelegationRegistry, Scope
+
+AUTHORITIES = ["root", "a", "b", "c", "d"]
+RESOURCES = ["*", "r1", "r2"]
+
+
+@st.composite
+def grant_scripts(draw):
+    ops = []
+    for _ in range(draw(st.integers(min_value=0, max_value=15))):
+        delegator = draw(st.sampled_from(AUTHORITIES))
+        delegate = draw(st.sampled_from(AUTHORITIES[1:]))
+        resource = draw(st.sampled_from(RESOURCES))
+        depth = draw(st.integers(min_value=0, max_value=3))
+        ops.append((delegator, delegate, resource, depth))
+    return ops
+
+
+def replay(ops):
+    registry = DelegationRegistry(roots={"root"})
+    for delegator, delegate, resource, depth in ops:
+        try:
+            registry.grant(
+                delegator, delegate, Scope(resource_id=resource), max_depth=depth
+            )
+        except DelegationError:
+            continue
+    return registry
+
+
+class TestReductionSoundness:
+    @given(grant_scripts(), st.sampled_from(AUTHORITIES[1:]), st.sampled_from(["r1", "r2"]))
+    @settings(max_examples=100)
+    def test_valid_reduction_chain_is_genuine(self, ops, issuer, resource):
+        registry = replay(ops)
+        scope = Scope(resource_id=resource, action_id="read")
+        result = registry.reduce(issuer, scope)
+        if not result.valid:
+            return
+        if not result.chain:  # issuer is a root
+            assert issuer in registry.roots
+            return
+        # Chain runs root -> ... -> issuer.
+        assert result.chain[0].delegator in registry.roots
+        assert result.chain[-1].delegate == issuer
+        for earlier, later in zip(result.chain, result.chain[1:]):
+            assert earlier.delegate == later.delegator
+        # Every hop covers the requested scope.
+        for grant in result.chain:
+            assert grant.scope.covers(scope)
+        # Depth budget: hop i (0-based from root) must allow the number of
+        # hops below it.
+        hops = len(result.chain)
+        for index, grant in enumerate(result.chain):
+            below = hops - index - 1
+            assert grant.max_depth >= below, (index, grant, hops)
+        # All grants in the chain are live registry grants.
+        live = set(
+            (g.delegator, g.delegate, g.scope) for g in registry.grants()
+        )
+        for grant in result.chain:
+            assert (grant.delegator, grant.delegate, grant.scope) in live
+
+    @given(grant_scripts())
+    @settings(max_examples=40)
+    def test_total_revocation_leaves_only_roots(self, ops):
+        registry = replay(ops)
+        for grant in list(registry.grants()):
+            registry.revoke(grant.delegator, grant.delegate, grant.scope)
+        assert registry.grants() == []
+        for authority in AUTHORITIES[1:]:
+            assert not registry.reduce(authority, Scope()).valid
+        assert registry.reduce("root", Scope()).valid
+
+    @given(grant_scripts(), st.sampled_from(AUTHORITIES[1:]))
+    @settings(max_examples=40)
+    def test_scope_monotonicity(self, ops, issuer):
+        """Reducing for a narrower scope can only be easier, never harder."""
+        registry = replay(ops)
+        wide = registry.reduce(issuer, Scope())  # '*' on both axes
+        narrow = registry.reduce(issuer, Scope(resource_id="r1", action_id="read"))
+        if wide.valid:
+            assert narrow.valid

@@ -1,0 +1,110 @@
+"""Tests for the TTL cache used by PEPs (decisions) and PDPs (policies)."""
+
+import pytest
+
+from repro.components import TtlCache
+from repro.simnet import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+def make_cache(clock, ttl=10.0, capacity=3):
+    return TtlCache(ttl=ttl, clock=lambda: clock.now, capacity=capacity)
+
+
+class TestTtlCache:
+    def test_hit_after_put(self, clock):
+        cache = make_cache(clock)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert cache.stats.hits == 1
+
+    def test_miss_on_absent(self, clock):
+        cache = make_cache(clock)
+        assert cache.get("k") is None
+        assert cache.stats.misses == 1
+
+    def test_expiry(self, clock):
+        cache = make_cache(clock, ttl=5.0)
+        cache.put("k", "v")
+        clock.advance_to(4.9)
+        assert cache.get("k") == "v"
+        clock.advance_to(5.0)
+        assert cache.get("k") is None
+        assert cache.stats.expirations == 1
+
+    def test_zero_ttl_disables_cache(self, clock):
+        cache = make_cache(clock, ttl=0.0)
+        cache.put("k", "v")
+        assert cache.get("k") is None
+        assert not cache.enabled
+
+    def test_negative_ttl_rejected(self, clock):
+        with pytest.raises(ValueError):
+            make_cache(clock, ttl=-1.0)
+
+    def test_lru_eviction(self, clock):
+        cache = make_cache(clock, capacity=3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)
+        cache.get("a")  # refresh a
+        cache.put("d", "d")  # evicts b (least recently used)
+        assert cache.get("b") is None
+        assert cache.get("a") == "a"
+        assert cache.stats.evictions == 1
+
+    def test_overwrite_does_not_evict(self, clock):
+        cache = make_cache(clock, capacity=2)
+        cache.put("a", "1")
+        cache.put("a", "2")
+        cache.put("b", "3")
+        assert cache.get("a") == "2"
+        assert cache.stats.evictions == 0
+
+    def test_invalidate(self, clock):
+        cache = make_cache(clock)
+        cache.put("k", "v")
+        assert cache.invalidate("k") is True
+        assert cache.get("k") is None
+        assert cache.invalidate("k") is False
+
+    def test_invalidate_where(self, clock):
+        cache = make_cache(clock, capacity=10)
+        for index in range(5):
+            cache.put(("res", index), index)
+        removed = cache.invalidate_where(lambda key: key[1] % 2 == 0)
+        assert removed == 3
+        assert cache.get(("res", 1)) == 1
+        assert cache.get(("res", 2)) is None
+
+    def test_clear(self, clock):
+        cache = make_cache(clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_age_of(self, clock):
+        cache = make_cache(clock)
+        cache.put("k", "v")
+        clock.advance_to(3.0)
+        assert cache.age_of("k") == pytest.approx(3.0)
+        assert cache.age_of("missing") is None
+
+    def test_hit_ratio(self, clock):
+        cache = make_cache(clock)
+        cache.put("k", "v")
+        cache.get("k")
+        cache.get("missing")
+        assert cache.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_refreshed_entry_gets_new_ttl(self, clock):
+        cache = make_cache(clock, ttl=5.0)
+        cache.put("k", "v1")
+        clock.advance_to(4.0)
+        cache.put("k", "v2")
+        clock.advance_to(8.0)
+        assert cache.get("k") == "v2"

@@ -1,0 +1,151 @@
+"""Tests for the context handler: native requests → XACML contexts."""
+
+import pytest
+
+from repro.components import (
+    ContextHandlerError,
+    from_http_request,
+    from_soap_call,
+    with_environment_time,
+)
+from repro.wsvc import HttpRequest, RestResource, RestRouter, request_envelope
+from repro.xacml import Category, DataType
+from repro.xacml.attributes import (
+    ENVIRONMENT_DATE_TIME,
+    RESOURCE_DOMAIN,
+    SUBJECT_DOMAIN,
+)
+
+
+class TestFromSoapCall:
+    def test_action_becomes_action_id(self):
+        envelope = request_envelope("orders.submit", "<Order/>")
+        request = from_soap_call(envelope, subject_id="alice", service_name="order-svc")
+        assert request.subject_id == "alice"
+        assert request.resource_id == "order-svc"
+        assert request.action_id == "orders.submit"
+
+    def test_domains_attached(self):
+        envelope = request_envelope("op", "<B/>")
+        request = from_soap_call(
+            envelope,
+            subject_id="alice",
+            service_name="svc",
+            subject_domain="physics",
+            resource_domain="chemistry",
+        )
+        subject_domains = request.bag(Category.SUBJECT, SUBJECT_DOMAIN, DataType.STRING)
+        resource_domains = request.bag(
+            Category.RESOURCE, RESOURCE_DOMAIN, DataType.STRING
+        )
+        assert [v.value for v in subject_domains] == ["physics"]
+        assert [v.value for v in resource_domains] == ["chemistry"]
+
+    def test_missing_action_rejected(self):
+        envelope = request_envelope("", "<B/>")
+        with pytest.raises(ContextHandlerError, match="no action"):
+            from_soap_call(envelope, subject_id="a", service_name="s")
+
+
+class TestFromHttpRequest:
+    @pytest.fixture
+    def router(self):
+        router = RestRouter()
+        router.add(
+            RestResource(
+                uri_template="/records/{patient}",
+                resource_id="record-{patient}",
+            )
+        )
+        return router
+
+    def test_route_to_triple(self, router):
+        request, decision = from_http_request(
+            HttpRequest(method="GET", uri="/records/p7", subject_id="dr"),
+            router,
+        )
+        assert request.subject_id == "dr"
+        assert request.resource_id == "record-p7"
+        assert request.action_id == "read"
+        assert decision.parameters == {"patient": "p7"}
+
+    def test_write_method(self, router):
+        request, _ = from_http_request(
+            HttpRequest(method="PUT", uri="/records/p7", subject_id="dr"),
+            router,
+        )
+        assert request.action_id == "write"
+
+    def test_unrouted_uri_rejected(self, router):
+        with pytest.raises(ContextHandlerError, match="no route"):
+            from_http_request(
+                HttpRequest(method="GET", uri="/nowhere", subject_id="dr"), router
+            )
+
+    def test_unauthenticated_rejected(self, router):
+        with pytest.raises(ContextHandlerError, match="unauthenticated"):
+            from_http_request(
+                HttpRequest(method="GET", uri="/records/p7"), router
+            )
+
+
+class TestEnvironmentTime:
+    def test_time_attribute_attached(self):
+        from repro.xacml import RequestContext
+
+        request = RequestContext.simple("s", "r", "read")
+        with_environment_time(request, now=123.5)
+        bag = request.bag(
+            Category.ENVIRONMENT, ENVIRONMENT_DATE_TIME, DataType.DATE_TIME
+        )
+        assert [v.value for v in bag] == [123.5]
+
+
+class TestRestToEnforcement:
+    def test_full_rest_pipeline(self):
+        """HTTP request -> context handler -> PEP -> PDP, end to end."""
+        from repro.components import (
+            PolicyAdministrationPoint,
+            PolicyDecisionPoint,
+            PolicyEnforcementPoint,
+        )
+        from repro.simnet import Network
+        from repro.xacml import (
+            Policy,
+            combining,
+            deny_rule,
+            permit_rule,
+            subject_resource_action_target,
+        )
+
+        network = Network(seed=71)
+        pap = PolicyAdministrationPoint("pap", network)
+        pap.publish(
+            Policy(
+                policy_id="records",
+                rules=(
+                    permit_rule(
+                        "doctors-read",
+                        subject_resource_action_target(
+                            subject_id="dr", action_id="read"
+                        ),
+                    ),
+                    deny_rule("rest"),
+                ),
+                rule_combining=combining.RULE_FIRST_APPLICABLE,
+            )
+        )
+        pdp = PolicyDecisionPoint("pdp", network, pap_address="pap")
+        pep = PolicyEnforcementPoint("pep", network, pdp_address="pdp")
+        router = RestRouter()
+        router.add(
+            RestResource(uri_template="/records/{p}", resource_id="record-{p}")
+        )
+        request, _ = from_http_request(
+            HttpRequest(method="GET", uri="/records/p7", subject_id="dr"), router
+        )
+        assert pep.authorize(request).granted
+        request_w, _ = from_http_request(
+            HttpRequest(method="DELETE", uri="/records/p7", subject_id="dr"), router
+        )
+        assert not pep.authorize(request_w).granted

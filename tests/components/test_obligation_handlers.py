@@ -1,0 +1,141 @@
+"""Tests for the standard obligation-handler library."""
+
+import pytest
+
+from repro.components import (
+    AUDIT_OBLIGATION,
+    ENCRYPT_RESPONSE_OBLIGATION,
+    NOTIFY_OBLIGATION,
+    ObligationAuditTrail,
+    PolicyAdministrationPoint,
+    PolicyDecisionPoint,
+    PolicyEnforcementPoint,
+    QUOTA_OBLIGATION,
+    QuotaLedger,
+    audit_handler,
+    encrypt_response_handler,
+    notify_handler,
+    quota_handler,
+    register_standard_handlers,
+)
+from repro.simnet import Network
+from repro.xacml import (
+    Decision,
+    Obligation,
+    ObligationAssignment,
+    Policy,
+    RequestContext,
+    permit_rule,
+    string,
+)
+
+
+def request():
+    return RequestContext.simple("alice", "report", "read")
+
+
+class TestAuditHandler:
+    def test_records_access(self):
+        trail = ObligationAuditTrail()
+        handler = audit_handler(trail)
+        obligation = Obligation(
+            AUDIT_OBLIGATION,
+            Decision.PERMIT,
+            assignments=(ObligationAssignment("level", string("sensitive")),),
+        )
+        assert handler(obligation, request()) is True
+        assert trail.entries == [("audit", "alice", "report", "sensitive")]
+
+    def test_default_level(self):
+        trail = ObligationAuditTrail()
+        handler = audit_handler(trail)
+        assert handler(Obligation(AUDIT_OBLIGATION, Decision.PERMIT), request())
+        assert trail.entries[0][3] == "default"
+
+
+class TestNotifyHandler:
+    def test_sends_to_recipient(self):
+        sent = []
+        handler = notify_handler(lambda recipient, event: sent.append((recipient, event)))
+        obligation = Obligation(
+            NOTIFY_OBLIGATION,
+            Decision.PERMIT,
+            assignments=(ObligationAssignment("recipient", string("owner@org")),),
+        )
+        assert handler(obligation, request())
+        assert sent == [("owner@org", "alice read report")]
+
+    def test_missing_recipient_fails_closed(self):
+        handler = notify_handler(lambda recipient, event: None)
+        assert not handler(Obligation(NOTIFY_OBLIGATION, Decision.PERMIT), request())
+
+
+class TestEncryptHandler:
+    def obligation(self, strength):
+        return Obligation(
+            ENCRYPT_RESPONSE_OBLIGATION,
+            Decision.PERMIT,
+            assignments=(ObligationAssignment("strength", string(strength)),),
+        )
+
+    def test_calls_encryptor(self):
+        calls = []
+        handler = encrypt_response_handler(
+            lambda resource, strength: calls.append((resource, strength)) or True
+        )
+        assert handler(self.obligation("high"), request())
+        assert calls == [("report", "high")]
+
+    def test_minimum_strength_enforced(self):
+        handler = encrypt_response_handler(
+            lambda resource, strength: True, minimum_strength="high"
+        )
+        assert not handler(self.obligation("standard"), request())
+        assert handler(self.obligation("maximum"), request())
+
+    def test_missing_strength_fails_closed(self):
+        handler = encrypt_response_handler(lambda resource, strength: True)
+        assert not handler(
+            Obligation(ENCRYPT_RESPONSE_OBLIGATION, Decision.PERMIT), request()
+        )
+
+
+class TestQuotaHandler:
+    def test_budget_consumed_then_denied(self):
+        ledger = QuotaLedger()
+        ledger.set_limit("alice", 2)
+        handler = quota_handler(ledger)
+        obligation = Obligation(QUOTA_OBLIGATION, Decision.PERMIT)
+        assert handler(obligation, request())
+        assert handler(obligation, request())
+        assert not handler(obligation, request())
+        assert ledger.remaining("alice") == 0
+
+    def test_no_budget_fails_closed(self):
+        handler = quota_handler(QuotaLedger())
+        assert not handler(Obligation(QUOTA_OBLIGATION, Decision.PERMIT), request())
+
+
+class TestEndToEndQuota:
+    def test_quota_enforced_through_full_stack(self):
+        network = Network(seed=91)
+        pap = PolicyAdministrationPoint("pap", network)
+        pap.publish(
+            Policy(
+                policy_id="metered",
+                rules=(permit_rule("anyone"),),
+                obligations=(Obligation(QUOTA_OBLIGATION, Decision.PERMIT),),
+            )
+        )
+        pdp = PolicyDecisionPoint("pdp", network, pap_address="pap")
+        pep = PolicyEnforcementPoint("pep", network, pdp_address="pdp")
+        trail, ledger = register_standard_handlers(pep)
+        ledger.set_limit("alice", 3)
+        outcomes = [
+            pep.authorize_simple("alice", "report", "read").granted
+            for _ in range(5)
+        ]
+        # Three within budget, then the obligation fails and the PEP
+        # denies despite the PDP's Permit.
+        assert outcomes == [True, True, True, False, False]
+        assert pep.obligation_failures == 2

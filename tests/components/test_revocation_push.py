@@ -1,0 +1,109 @@
+"""Tests for PAP change notifications (revocation push).
+
+The paper (§3.2) notes that caching "reduces the flexibility of revoking
+old access control rules"; these tests cover the push-invalidation
+mitigation: PEPs/PDPs subscribe to their PAP and drop caches on change.
+"""
+
+import pytest
+
+from repro.components import (
+    PdpConfig,
+    PepConfig,
+    PolicyAdministrationPoint,
+    PolicyDecisionPoint,
+    PolicyEnforcementPoint,
+)
+from repro.simnet import Network
+from repro.xacml import (
+    Decision,
+    Policy,
+    combining,
+    deny_rule,
+    permit_rule,
+    subject_resource_action_target,
+)
+
+
+def permit_alice():
+    return Policy(
+        policy_id="p",
+        rules=(
+            permit_rule("alice", subject_resource_action_target(subject_id="alice")),
+            deny_rule("rest"),
+        ),
+        rule_combining=combining.RULE_FIRST_APPLICABLE,
+    )
+
+
+def deny_all():
+    return Policy(policy_id="p", rules=(deny_rule("all"),))
+
+
+@pytest.fixture
+def env():
+    network = Network(seed=51)
+    pap = PolicyAdministrationPoint("pap", network)
+    pap.publish(permit_alice())
+    pdp = PolicyDecisionPoint(
+        "pdp", network, pap_address="pap",
+        config=PdpConfig(policy_cache_ttl=3600.0),
+    )
+    pep = PolicyEnforcementPoint(
+        "pep", network, pdp_address="pdp",
+        config=PepConfig(decision_cache_ttl=3600.0),
+    )
+    return network, pap, pdp, pep
+
+
+class TestRevocationPush:
+    def test_without_push_revocation_is_invisible(self, env):
+        network, pap, pdp, pep = env
+        assert pep.authorize_simple("alice", "r", "read").granted
+        pap.publish(deny_all())
+        network.run(until=network.now + 1.0)
+        # Both caches still hold the old world: stale permit.
+        assert pep.authorize_simple("alice", "r", "read").granted
+
+    def test_push_invalidates_both_caches(self, env):
+        network, pap, pdp, pep = env
+        pep.subscribe_to_policy_changes("pap")
+        pdp.subscribe_to_policy_changes()
+        assert pep.authorize_simple("alice", "r", "read").granted
+        pap.publish(deny_all())
+        network.run(until=network.now + 1.0)  # let notifications deliver
+        result = pep.authorize_simple("alice", "r", "read")
+        assert not result.granted
+        assert pep.invalidations_received == 1
+
+    def test_withdraw_also_notifies(self, env):
+        network, pap, pdp, pep = env
+        pep.subscribe_to_policy_changes("pap")
+        pdp.subscribe_to_policy_changes()
+        assert pep.authorize_simple("alice", "r", "read").granted
+        pap.withdraw("p")
+        network.run(until=network.now + 1.0)
+        result = pep.authorize_simple("alice", "r", "read")
+        # Nothing applicable any more -> enforced as not-granted.
+        assert not result.granted
+
+    def test_notification_cost_counted(self, env):
+        network, pap, pdp, pep = env
+        pep.subscribe_to_policy_changes("pap")
+        pdp.subscribe_to_policy_changes()
+        pap.publish(deny_all())
+        assert pap.invalidations_sent == 2  # one per subscriber
+
+    def test_duplicate_subscription_ignored(self, env):
+        network, pap, pdp, pep = env
+        pep.subscribe_to_policy_changes("pap")
+        pap.subscribe_changes(pep.name)  # direct duplicate
+        pap.publish(deny_all())
+        network.run(until=network.now + 1.0)
+        assert pep.invalidations_received == 1
+
+    def test_pdp_without_pap_cannot_subscribe(self):
+        network = Network(seed=52)
+        pdp = PolicyDecisionPoint("lonely-pdp", network)
+        with pytest.raises(ValueError, match="no PAP"):
+            pdp.subscribe_to_policy_changes()

@@ -1,0 +1,152 @@
+"""Tests for automated trust negotiation and the Traust-style server."""
+
+import pytest
+
+from repro.domain import (
+    AdministrativeDomain,
+    Credential,
+    NegotiationParty,
+    TraustServer,
+    negotiate,
+)
+from repro.simnet import Network
+from repro.wss import KeyStore
+
+
+def cred(ctype, holder="requester"):
+    return Credential(credential_type=ctype, issuer="issuer", subject_id=holder)
+
+
+class TestNegotiate:
+    def test_freely_disclosable_succeeds_in_one_round(self):
+        requester = NegotiationParty("req")
+        requester.add_credential(cred("license"))
+        provider = NegotiationParty("prov")
+        outcome = negotiate(requester, provider, frozenset({"license"}))
+        assert outcome.success
+        assert outcome.rounds == 1
+
+    def test_guarded_credential_needs_provider_disclosure(self):
+        requester = NegotiationParty("req")
+        requester.add_credential(
+            cred("membership"), requires=frozenset({"provider-id"})
+        )
+        provider = NegotiationParty("prov")
+        provider.add_credential(cred("provider-id", holder="prov"))
+        outcome = negotiate(requester, provider, frozenset({"membership"}))
+        assert outcome.success
+        assert outcome.rounds == 2
+        assert [c.credential_type for c in outcome.disclosed_by_provider] == [
+            "provider-id"
+        ]
+
+    def test_deadlock_detected_at_fixpoint(self):
+        requester = NegotiationParty("req")
+        requester.add_credential(cred("a"), requires=frozenset({"b"}))
+        provider = NegotiationParty("prov")
+        provider.add_credential(cred("b", holder="prov"), requires=frozenset({"a"}))
+        outcome = negotiate(requester, provider, frozenset({"a"}))
+        assert not outcome.success
+        assert "fixpoint" in outcome.reason
+
+    def test_missing_credential_fails(self):
+        requester = NegotiationParty("req")
+        requester.add_credential(cred("x"))
+        provider = NegotiationParty("prov")
+        outcome = negotiate(requester, provider, frozenset({"y"}))
+        assert not outcome.success
+
+    def test_multi_step_chain(self):
+        requester = NegotiationParty("req")
+        requester.add_credential(cred("public-id"))
+        requester.add_credential(cred("employee"), requires=frozenset({"org-id"}))
+        requester.add_credential(
+            cred("project-role"), requires=frozenset({"project-charter"})
+        )
+        provider = NegotiationParty("prov")
+        provider.add_credential(
+            cred("org-id", holder="prov"), requires=frozenset({"public-id"})
+        )
+        provider.add_credential(
+            cred("project-charter", holder="prov"), requires=frozenset({"employee"})
+        )
+        outcome = negotiate(
+            requester, provider, frozenset({"employee", "project-role"})
+        )
+        assert outcome.success
+        assert outcome.rounds >= 3
+
+
+class TestTraustServer:
+    @pytest.fixture
+    def server(self):
+        network = Network(seed=23)
+        keystore = KeyStore(seed=23)
+        domain = AdministrativeDomain("acme", network, keystore)
+        identity = domain.component_identity("traust.acme")
+        server = TraustServer("traust.acme", network, "acme", identity)
+        return network, keystore, domain, server
+
+    def test_successful_negotiation_yields_token(self, server):
+        network, keystore, domain, traust = server
+        party = NegotiationParty("stranger")
+        party.add_credential(cred("business-license", holder="stranger"))
+        traust.register_party(party)
+        traust.protect_resource("dataset", frozenset({"business-license"}))
+        outcome, token = traust.negotiate_for("stranger", "dataset")
+        assert outcome.success
+        assert token is not None
+        from repro.saml import validate_assertion
+
+        assertion = validate_assertion(
+            token, keystore, domain.validator, at=network.now + 1.0
+        )
+        assert assertion.attribute_values("urn:repro:traust:scope") == ["dataset"]
+
+    def test_failed_negotiation_yields_no_token(self, server):
+        _, _, _, traust = server
+        party = NegotiationParty("stranger")
+        traust.register_party(party)
+        traust.protect_resource("dataset", frozenset({"impossible"}))
+        outcome, token = traust.negotiate_for("stranger", "dataset")
+        assert not outcome.success
+        assert token is None
+
+    def test_wire_interface(self, server):
+        network, _, _, traust = server
+        from repro.components.base import Component
+
+        party = NegotiationParty("stranger")
+        party.add_credential(cred("business-license", holder="stranger"))
+        traust.register_party(party)
+        traust.protect_resource("dataset", frozenset({"business-license"}))
+        client = Component("client", network)
+        reply = client.call(
+            "traust.acme",
+            "traust.negotiate",
+            '<TraustRequest party="stranger" resource="dataset"/>',
+        )
+        assert 'success="true"' in str(reply.payload)
+
+    def test_unknown_party_faults(self, server):
+        _, _, _, traust = server
+        from repro.components import RpcFault
+
+        traust.protect_resource("dataset", frozenset())
+        with pytest.raises(RpcFault, match="unknown-party"):
+            traust.negotiate_for("nobody", "dataset")
+
+    def test_token_lifetime_bounded(self, server):
+        network, keystore, domain, traust = server
+        party = NegotiationParty("stranger")
+        party.add_credential(cred("license", holder="stranger"))
+        traust.register_party(party)
+        traust.protect_resource("dataset", frozenset({"license"}))
+        _, token = traust.negotiate_for("stranger", "dataset")
+        from repro.saml import AssertionError_, validate_assertion
+
+        with pytest.raises(AssertionError_):
+            validate_assertion(
+                token, keystore, domain.validator,
+                at=network.now + traust.token_lifetime + 1.0,
+            )

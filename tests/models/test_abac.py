@@ -1,0 +1,164 @@
+"""Tests for the ABAC rule/policy builders."""
+
+import pytest
+
+from repro.models import AbacError, AbacPolicyBuilder, AbacRuleBuilder
+from repro.xacml import (
+    Category,
+    Decision,
+    PdpEngine,
+    RequestContext,
+    SUBJECT_ROLE,
+    string,
+    time_of_day,
+)
+from repro.xacml.attributes import ENVIRONMENT_TIME, integer
+
+
+def engine_with(policy):
+    engine = PdpEngine()
+    engine.add_policy(policy)
+    return engine
+
+
+class TestAbacRuleBuilder:
+    def test_effect_required(self):
+        with pytest.raises(AbacError, match="effect"):
+            AbacRuleBuilder("r").build()
+
+    def test_subject_attribute_predicate(self):
+        rule = (
+            AbacRuleBuilder("r")
+            .permit()
+            .when_subject(SUBJECT_ROLE, "analyst")
+            .build()
+        )
+        policy = AbacPolicyBuilder("p").rule(rule).default_deny().build()
+        engine = engine_with(policy)
+        yes = RequestContext.simple(
+            "u", "r", "read", subject_attributes={SUBJECT_ROLE: [string("analyst")]}
+        )
+        no = RequestContext.simple(
+            "u", "r", "read", subject_attributes={SUBJECT_ROLE: [string("intern")]}
+        )
+        assert engine.decide(yes) is Decision.PERMIT
+        assert engine.decide(no) is Decision.DENY
+
+    def test_multi_value_is_disjunction(self):
+        rule = (
+            AbacRuleBuilder("r")
+            .permit()
+            .when_subject(SUBJECT_ROLE, "analyst", "admin")
+            .build()
+        )
+        policy = AbacPolicyBuilder("p").rule(rule).default_deny().build()
+        engine = engine_with(policy)
+        request = RequestContext.simple(
+            "u", "r", "read", subject_attributes={SUBJECT_ROLE: [string("admin")]}
+        )
+        assert engine.decide(request) is Decision.PERMIT
+
+    def test_empty_value_set_rejected(self):
+        with pytest.raises(AbacError, match="empty value set"):
+            AbacRuleBuilder("r").permit().when_subject(SUBJECT_ROLE).build()
+
+    def test_action_restriction(self):
+        rule = (
+            AbacRuleBuilder("r").permit().when_action("read").build()
+        )
+        policy = AbacPolicyBuilder("p").rule(rule).default_deny().build()
+        engine = engine_with(policy)
+        assert engine.decide(RequestContext.simple("u", "r", "read")) is Decision.PERMIT
+        assert engine.decide(RequestContext.simple("u", "r", "write")) is Decision.DENY
+
+    def test_time_window(self):
+        rule = (
+            AbacRuleBuilder("r")
+            .permit()
+            .when_time_between(9 * 3600, 17 * 3600)
+            .build()
+        )
+        policy = AbacPolicyBuilder("p").rule(rule).default_deny().build()
+        engine = engine_with(policy)
+        noon = RequestContext.simple(
+            "u", "r", "read",
+            environment={ENVIRONMENT_TIME: [time_of_day(12 * 3600)]},
+        )
+        midnight = RequestContext.simple(
+            "u", "r", "read",
+            environment={ENVIRONMENT_TIME: [time_of_day(0.0)]},
+        )
+        assert engine.decide(noon) is Decision.PERMIT
+        assert engine.decide(midnight) is Decision.DENY
+
+    def test_missing_time_attribute_is_indeterminate_then_denied(self):
+        rule = (
+            AbacRuleBuilder("r")
+            .permit()
+            .when_time_between(9 * 3600, 17 * 3600)
+            .build()
+        )
+        policy = AbacPolicyBuilder("p").rule(rule).build()
+        engine = engine_with(policy)
+        decision = engine.decide(RequestContext.simple("u", "r", "read"))
+        assert decision in (Decision.INDETERMINATE, Decision.DENY)
+
+    def test_integer_threshold(self):
+        rule = (
+            AbacRuleBuilder("r")
+            .permit()
+            .when_integer_at_least(Category.SUBJECT, "urn:test:level", 5)
+            .build()
+        )
+        policy = AbacPolicyBuilder("p").rule(rule).default_deny().build()
+        engine = engine_with(policy)
+        high = RequestContext.simple(
+            "u", "r", "read", subject_attributes={"urn:test:level": [integer(7)]}
+        )
+        low = RequestContext.simple(
+            "u", "r", "read", subject_attributes={"urn:test:level": [integer(3)]}
+        )
+        assert engine.decide(high) is Decision.PERMIT
+        assert engine.decide(low) is Decision.DENY
+
+    def test_deny_rule(self):
+        rule = (
+            AbacRuleBuilder("r")
+            .deny()
+            .when_subject(SUBJECT_ROLE, "blacklisted")
+            .build()
+        )
+        assert rule.effect is Decision.DENY
+
+
+class TestAbacPolicyBuilder:
+    def test_empty_policy_rejected(self):
+        with pytest.raises(AbacError, match="no rules"):
+            AbacPolicyBuilder("p").build()
+
+    def test_resource_scoping(self):
+        rule = AbacRuleBuilder("r").permit().build()
+        policy = (
+            AbacPolicyBuilder("p").for_resource("only-this").rule(rule).build()
+        )
+        engine = engine_with(policy)
+        assert (
+            engine.decide(RequestContext.simple("u", "only-this", "read"))
+            is Decision.PERMIT
+        )
+        assert (
+            engine.decide(RequestContext.simple("u", "other", "read"))
+            is Decision.NOT_APPLICABLE
+        )
+
+    def test_description_and_combining_preserved(self):
+        from repro.xacml import combining
+
+        rule = AbacRuleBuilder("r").permit().build()
+        policy = AbacPolicyBuilder(
+            "p",
+            rule_combining=combining.RULE_PERMIT_OVERRIDES,
+            description="test policy",
+        ).rule(rule).build()
+        assert policy.rule_combining == combining.RULE_PERMIT_OVERRIDES
+        assert policy.description == "test policy"

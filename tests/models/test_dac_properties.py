@@ -1,0 +1,116 @@
+"""Property-based tests over DAC grant/revoke histories.
+
+Invariants:
+
+* **no access without a grant path**: after any sequence of grants and
+  revocations, a non-owner subject has access iff a live allow entry for
+  it exists and no negative entry overrides;
+* **owner supremacy**: the owner may always grant; non-owners may grant
+  only while they hold the right with grant option;
+* **compiled-policy agreement**: the XACML compilation agrees with the
+  reference monitor after arbitrary histories.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.models import DacError, DacModel
+from repro.xacml import Decision, PdpEngine, RequestContext
+
+SUBJECTS = ["owner", "s0", "s1", "s2"]
+ACTIONS = ["read", "write"]
+
+
+@st.composite
+def dac_histories(draw):
+    ops = []
+    for _ in range(draw(st.integers(min_value=0, max_value=20))):
+        kind = draw(st.sampled_from(["grant", "revoke", "deny"]))
+        grantor = draw(st.sampled_from(SUBJECTS))
+        subject = draw(st.sampled_from(SUBJECTS[1:]))
+        action = draw(st.sampled_from(ACTIONS))
+        if kind == "grant":
+            ops.append((kind, grantor, subject, action, draw(st.booleans())))
+        else:
+            ops.append((kind, grantor, subject, action, False))
+    return ops
+
+
+def replay(ops):
+    model = DacModel()
+    model.register_resource("file", "owner")
+    for kind, grantor, subject, action, grant_option in ops:
+        try:
+            if kind == "grant":
+                model.grant("owner" if grantor == "owner" else grantor,
+                            "file", subject, action, grant_option=grant_option)
+            elif kind == "revoke":
+                model.revoke(grantor, "file", subject, action)
+            else:
+                model.deny(grantor, "file", subject, action)
+        except DacError:
+            continue
+    return model
+
+
+class TestDacInvariants:
+    @given(dac_histories())
+    @settings(max_examples=80)
+    def test_access_iff_live_grant(self, ops):
+        model = replay(ops)
+        acl = model.acl("file")
+        for subject in SUBJECTS[1:]:
+            for action in ACTIONS:
+                has_negative = any(
+                    e.subject_id == subject and e.action_id == action and not e.allow
+                    for e in acl.entries
+                )
+                has_positive = any(
+                    e.subject_id == subject and e.action_id == action and e.allow
+                    for e in acl.entries
+                )
+                expected = has_positive and not has_negative
+                assert model.check_access(subject, "file", action) == expected
+
+    @given(dac_histories())
+    @settings(max_examples=40)
+    def test_owner_only_blocked_by_explicit_negative(self, ops):
+        model = replay(ops)
+        acl = model.acl("file")
+        for action in ACTIONS:
+            has_negative = any(
+                e.subject_id == "owner" and e.action_id == action and not e.allow
+                for e in acl.entries
+            )
+            assert model.check_access("owner", "file", action) == (not has_negative)
+
+    @given(dac_histories())
+    @settings(max_examples=40)
+    def test_compiled_policy_agrees_with_monitor(self, ops):
+        model = replay(ops)
+        engine = PdpEngine()
+        for policy in model.compile_policies():
+            engine.add_policy(policy)
+        for subject in SUBJECTS:
+            for action in ACTIONS:
+                request = RequestContext.simple(subject, "file", action)
+                decision = engine.decide(request)
+                expected = model.check_access(subject, "file", action)
+                assert (decision is Decision.PERMIT) == expected, (subject, action)
+
+    @given(dac_histories())
+    @settings(max_examples=40)
+    def test_full_revocation_leaves_no_access(self, ops):
+        model = replay(ops)
+        for subject in SUBJECTS[1:]:
+            for action in ACTIONS:
+                model.revoke("owner", "file", subject, action)
+        for subject in SUBJECTS[1:]:
+            for action in ACTIONS:
+                acl = model.acl("file")
+                has_negative = any(
+                    e.subject_id == subject and e.action_id == action and not e.allow
+                    for e in acl.entries
+                )
+                # Only a (revocation-immune) negative entry may remain; it
+                # denies anyway.
+                assert not model.check_access(subject, "file", action) or has_negative

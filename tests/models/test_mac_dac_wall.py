@@ -1,0 +1,214 @@
+"""Tests for MAC (Bell-LaPadula), DAC (ACLs) and Chinese Wall models."""
+
+import pytest
+
+from repro.components import AttributeStore
+from repro.models import (
+    ChineseWallEngine,
+    ChineseWallError,
+    DacError,
+    DacModel,
+    Label,
+    MacError,
+    MacModel,
+)
+from repro.xacml import Category, Decision, PdpEngine, RequestContext
+
+
+class TestLabels:
+    def test_dominance_by_level(self):
+        assert Label.named("secret").dominates(Label.named("public"))
+        assert not Label.named("public").dominates(Label.named("secret"))
+
+    def test_dominance_needs_categories(self):
+        nuclear_secret = Label.named("secret", ["nuclear"])
+        plain_secret = Label.named("secret")
+        assert nuclear_secret.dominates(plain_secret)
+        assert not plain_secret.dominates(nuclear_secret)
+
+    def test_incomparable_labels(self):
+        a = Label.named("secret", ["x"])
+        b = Label.named("secret", ["y"])
+        assert not a.dominates(b) and not b.dominates(a)
+
+    def test_unknown_level_name(self):
+        with pytest.raises(MacError):
+            Label.named("ultra-mega-secret")
+
+    def test_out_of_range_level(self):
+        with pytest.raises(MacError):
+            Label(level=99)
+
+
+class TestBellLaPadula:
+    @pytest.fixture
+    def mac(self):
+        m = MacModel()
+        m.clear_subject("analyst", Label.named("secret", ["crypto"]))
+        m.classify_resource("report", Label.named("confidential", ["crypto"]))
+        m.classify_resource("raw-intel", Label.named("top-secret", ["crypto"]))
+        m.classify_resource("bulletin", Label.named("public"))
+        return m
+
+    def test_no_read_up(self, mac):
+        assert mac.may_read("analyst", "report")
+        assert not mac.may_read("analyst", "raw-intel")
+
+    def test_no_write_down(self, mac):
+        assert mac.may_write("analyst", "raw-intel")
+        assert not mac.may_write("analyst", "report")
+        assert not mac.may_write("analyst", "bulletin")
+
+    def test_unknown_entities(self, mac):
+        with pytest.raises(MacError):
+            mac.may_read("stranger", "report")
+        assert not mac.check_access("stranger", "report", "read")
+
+    def test_compiled_policy_matches_monitor(self, mac):
+        store = AttributeStore()
+        mac.populate_pip(store)
+        engine = PdpEngine()
+        engine.add_policy(mac.compile_policy())
+
+        def finder_factory(request):
+            def finder(category, attribute_id, data_type):
+                about = (
+                    request.subject_id
+                    if category is Category.SUBJECT
+                    else request.resource_id
+                ) or ""
+                return store.lookup(category, attribute_id, about, data_type, 0.0)
+
+            return finder
+
+        for resource in ("report", "raw-intel", "bulletin"):
+            for action in ("read", "write"):
+                request = RequestContext.simple("analyst", resource, action)
+                engine.attribute_finder = finder_factory(request)
+                decision = engine.decide(request)
+                expected = mac.check_access("analyst", resource, action)
+                assert (decision is Decision.PERMIT) == expected, (resource, action)
+
+
+class TestDac:
+    @pytest.fixture
+    def dac(self):
+        model = DacModel()
+        model.register_resource("file", "owner")
+        return model
+
+    def test_owner_always_allowed(self, dac):
+        assert dac.check_access("owner", "file", "read")
+
+    def test_grant_and_check(self, dac):
+        dac.grant("owner", "file", "bob", "read")
+        assert dac.check_access("bob", "file", "read")
+        assert not dac.check_access("bob", "file", "write")
+
+    def test_non_owner_cannot_grant(self, dac):
+        with pytest.raises(DacError):
+            dac.grant("bob", "file", "carol", "read")
+
+    def test_grant_option_enables_regrant(self, dac):
+        dac.grant("owner", "file", "bob", "read", grant_option=True)
+        dac.grant("bob", "file", "carol", "read")
+        assert dac.check_access("carol", "file", "read")
+
+    def test_grantee_without_option_cannot_regrant(self, dac):
+        dac.grant("owner", "file", "bob", "read")
+        with pytest.raises(DacError):
+            dac.grant("bob", "file", "carol", "read")
+
+    def test_cascading_revocation(self, dac):
+        dac.grant("owner", "file", "bob", "read", grant_option=True)
+        dac.grant("bob", "file", "carol", "read")
+        removed = dac.revoke("owner", "file", "bob", "read")
+        assert removed >= 2
+        assert not dac.check_access("bob", "file", "read")
+        assert not dac.check_access("carol", "file", "read")
+
+    def test_negative_entry_overrides(self, dac):
+        dac.grant("owner", "file", "bob", "read")
+        dac.deny("owner", "file", "bob", "read")
+        assert not dac.check_access("bob", "file", "read")
+
+    def test_negative_entries_owner_only(self, dac):
+        dac.grant("owner", "file", "bob", "read", grant_option=True)
+        with pytest.raises(DacError, match="owner"):
+            dac.deny("bob", "file", "carol", "read")
+
+    def test_duplicate_resource_rejected(self, dac):
+        with pytest.raises(DacError):
+            dac.register_resource("file", "other")
+
+    def test_compiled_policy_matches_monitor(self, dac):
+        dac.grant("owner", "file", "bob", "read", grant_option=True)
+        dac.grant("bob", "file", "carol", "read")
+        dac.deny("owner", "file", "eve", "read")
+        engine = PdpEngine()
+        for policy in dac.compile_policies():
+            engine.add_policy(policy)
+        for subject in ("owner", "bob", "carol", "eve", "stranger"):
+            for action in ("read", "write"):
+                request = RequestContext.simple(subject, "file", action)
+                decision = engine.decide(request)
+                expected = dac.check_access(subject, "file", action)
+                assert (decision is Decision.PERMIT) == expected, (subject, action)
+
+
+class TestChineseWall:
+    @pytest.fixture
+    def wall(self):
+        engine = ChineseWallEngine()
+        engine.register_dataset("bank-a", "banking")
+        engine.register_dataset("bank-b", "banking")
+        engine.register_dataset("oil-x", "petroleum")
+        engine.register_dataset("market-report", ChineseWallEngine.SANITISED)
+        return engine
+
+    def test_first_access_free_choice(self, wall):
+        assert wall.permitted("analyst", "bank-a")
+        assert wall.permitted("analyst", "bank-b")
+
+    def test_commitment_blocks_competitor(self, wall):
+        wall.record_access("analyst", "bank-a", at=1.0)
+        assert wall.permitted("analyst", "bank-a")
+        assert not wall.permitted("analyst", "bank-b")
+
+    def test_other_conflict_class_unaffected(self, wall):
+        wall.record_access("analyst", "bank-a", at=1.0)
+        assert wall.permitted("analyst", "oil-x")
+
+    def test_sanitised_always_allowed(self, wall):
+        wall.record_access("analyst", "bank-a", at=1.0)
+        assert wall.permitted("analyst", "market-report")
+        wall.record_access("analyst", "market-report", at=2.0)
+        assert wall.permitted("analyst", "bank-a")
+
+    def test_walls_are_per_subject(self, wall):
+        wall.record_access("analyst", "bank-a", at=1.0)
+        assert wall.permitted("other-analyst", "bank-b")
+
+    def test_check_and_record_atomicity(self, wall):
+        assert wall.check_and_record("u", "bank-a", at=1.0)
+        assert not wall.check_and_record("u", "bank-b", at=2.0)
+        assert wall.vetoes == 1
+
+    def test_unknown_dataset(self, wall):
+        with pytest.raises(ChineseWallError):
+            wall.permitted("u", "mystery")
+
+    def test_reset_subject(self, wall):
+        wall.record_access("u", "bank-a", at=1.0)
+        wall.reset_subject("u")
+        assert wall.permitted("u", "bank-b")
+
+    def test_obligation_handler_integration(self, wall):
+        from repro.xacml import Obligation
+
+        handler = wall.obligation_handler(clock=lambda: 5.0)
+        obligation = Obligation("urn:repro:obligation:chinese-wall", Decision.PERMIT)
+        request_a = RequestContext.simple("u", "bank-a", "read")
+        request_b = RequestContext.simple("u", "bank-b", "read")
+        assert handler(obligation, request_a) is True
+        assert handler(obligation, request_b) is False

@@ -1,0 +1,200 @@
+"""Tests for the RBAC model: hierarchy, SoD, sessions, XACML compilation."""
+
+import pytest
+
+from repro.components import AttributeStore
+from repro.models import (
+    DsdConstraint,
+    Permission,
+    RbacError,
+    RbacModel,
+    SsdConstraint,
+)
+from repro.xacml import Category, Decision, PdpEngine, RequestContext
+
+
+@pytest.fixture
+def model():
+    m = RbacModel("corp")
+    for role in ("employee", "engineer", "manager", "auditor", "contractor"):
+        m.add_role(role)
+    m.add_inheritance("engineer", "employee")
+    m.add_inheritance("manager", "engineer")
+    m.grant_permission("employee", "cafeteria", "read")
+    m.grant_permission("engineer", "repo", "write")
+    m.grant_permission("manager", "budget", "write")
+    m.grant_permission("auditor", "audit-log", "read")
+    return m
+
+
+class TestCoreRbac:
+    def test_permission_via_assigned_role(self, model):
+        model.assign_user("u", "engineer")
+        assert model.check_access("u", "repo", "write")
+
+    def test_no_permission_without_role(self, model):
+        model.assign_user("u", "employee")
+        assert not model.check_access("u", "repo", "write")
+
+    def test_deassign_removes_access(self, model):
+        model.assign_user("u", "engineer")
+        model.deassign_user("u", "engineer")
+        assert not model.check_access("u", "repo", "write")
+
+    def test_unknown_role_rejected(self, model):
+        with pytest.raises(RbacError):
+            model.assign_user("u", "wizard")
+
+    def test_user_permissions_aggregate(self, model):
+        model.assign_user("u", "manager")
+        permissions = model.user_permissions("u")
+        assert Permission("budget", "write") in permissions
+        assert Permission("repo", "write") in permissions
+        assert Permission("cafeteria", "read") in permissions
+
+
+class TestHierarchy:
+    def test_inheritance_is_transitive(self, model):
+        model.assign_user("u", "manager")
+        assert "employee" in model.authorized_roles("u")
+
+    def test_cycle_rejected(self, model):
+        with pytest.raises(RbacError, match="cycle"):
+            model.add_inheritance("employee", "manager")
+
+    def test_self_inheritance_rejected(self, model):
+        with pytest.raises(RbacError, match="cycle"):
+            model.add_inheritance("manager", "manager")
+
+    def test_role_permissions_include_juniors(self, model):
+        permissions = model.role_permissions("manager")
+        assert Permission("cafeteria", "read") in permissions
+
+
+class TestSsd:
+    def test_direct_violation_blocked(self, model):
+        model.add_ssd(SsdConstraint("m-a", frozenset({"manager", "auditor"})))
+        model.assign_user("u", "manager")
+        with pytest.raises(RbacError, match="SSD"):
+            model.assign_user("u", "auditor")
+
+    def test_violation_through_inheritance_blocked(self, model):
+        model.add_ssd(SsdConstraint("e-a", frozenset({"engineer", "auditor"})))
+        model.assign_user("u", "manager")  # manager inherits engineer
+        with pytest.raises(RbacError, match="SSD"):
+            model.assign_user("u", "auditor")
+
+    def test_retroactive_constraint_rejected_if_violated(self, model):
+        model.assign_user("u", "manager")
+        model.assign_user("u", "auditor")
+        with pytest.raises(RbacError, match="existing assignment"):
+            model.add_ssd(SsdConstraint("m-a", frozenset({"manager", "auditor"})))
+
+    def test_inheritance_addition_checked_against_ssd(self, model):
+        model.add_ssd(
+            SsdConstraint("c-a", frozenset({"contractor", "auditor"}))
+        )
+        model.assign_user("u", "contractor")
+        model.assign_user("u", "employee")
+        with pytest.raises(RbacError, match="SSD"):
+            model.add_inheritance("contractor", "auditor")
+        # the failed edge must not have been left in place
+        assert "auditor" not in model.authorized_roles("u")
+
+    def test_cardinality_three(self, model):
+        model.add_ssd(
+            SsdConstraint(
+                "any-two-of-three",
+                frozenset({"contractor", "auditor", "employee"}),
+                cardinality=3,
+            )
+        )
+        model.assign_user("u", "contractor")
+        model.assign_user("u", "auditor")  # two of three is fine
+        with pytest.raises(RbacError):
+            model.assign_user("u", "employee")
+
+
+class TestDsdSessions:
+    def test_dsd_blocks_joint_activation(self, model):
+        model.add_dsd(DsdConstraint("m-c", frozenset({"manager", "contractor"})))
+        model.assign_user("u", "manager")
+        model.assign_user("u", "contractor")  # assignment fine (DSD not SSD)
+        session = model.open_session("u")
+        session.activate("manager")
+        with pytest.raises(RbacError, match="DSD"):
+            session.activate("contractor")
+
+    def test_deactivation_frees_slot(self, model):
+        model.add_dsd(DsdConstraint("m-c", frozenset({"manager", "contractor"})))
+        model.assign_user("u", "manager")
+        model.assign_user("u", "contractor")
+        session = model.open_session("u")
+        session.activate("manager")
+        session.deactivate("manager")
+        session.activate("contractor")
+
+    def test_session_access_uses_active_roles_only(self, model):
+        model.assign_user("u", "manager")
+        session = model.open_session("u")
+        assert not session.check_access("budget", "write")
+        session.activate("manager")
+        assert session.check_access("budget", "write")
+
+    def test_cannot_activate_unassigned_role(self, model):
+        model.assign_user("u", "employee")
+        session = model.open_session("u")
+        with pytest.raises(RbacError, match="not assigned"):
+            session.activate("manager")
+
+
+class TestXacmlCompilation:
+    def engine_for(self, model):
+        store = AttributeStore()
+        model.populate_pip(store)
+        engine = PdpEngine()
+        engine.add_policy(model.compile_policy_set())
+
+        def finder_factory(request):
+            def finder(category, attribute_id, data_type):
+                about = (
+                    request.subject_id
+                    if category is Category.SUBJECT
+                    else request.resource_id
+                ) or ""
+                return store.lookup(category, attribute_id, about, data_type, 0.0)
+
+            return finder
+
+        return engine, finder_factory
+
+    def test_compiled_matches_reference_monitor(self, model):
+        model.assign_user("alice", "manager")
+        model.assign_user("bob", "employee")
+        engine, finder_factory = self.engine_for(model)
+        for user in ("alice", "bob", "stranger"):
+            for resource, action in (
+                ("cafeteria", "read"),
+                ("repo", "write"),
+                ("budget", "write"),
+                ("audit-log", "read"),
+            ):
+                request = RequestContext.simple(user, resource, action)
+                engine.attribute_finder = finder_factory(request)
+                decision = engine.decide(request)
+                expected = model.check_access(user, resource, action)
+                assert (decision is Decision.PERMIT) == expected, (
+                    user,
+                    resource,
+                    action,
+                )
+
+    def test_fallback_deny_closes_world(self, model):
+        model.assign_user("alice", "employee")
+        engine, finder_factory = self.engine_for(model)
+        request = RequestContext.simple("alice", "unknown-resource", "read")
+        engine.attribute_finder = finder_factory(request)
+        assert engine.decide(request) is Decision.DENY
+
+    def test_policy_count_tracks_roles(self, model):
+        assert len(model.compile_policies()) == len(model.roles())

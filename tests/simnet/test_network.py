@@ -1,0 +1,179 @@
+"""Tests for the simulated network: delivery, latency, partitions, loss."""
+
+import pytest
+
+from repro.simnet import (
+    INTER_DOMAIN_LATENCY,
+    Link,
+    Message,
+    Network,
+    TRANSPORT_OVERHEAD_BYTES,
+    payload_size,
+)
+
+
+def make_pair(network):
+    a = network.node("a")
+    b = network.node("b")
+    inbox = []
+    b.on_message(inbox.append)
+    return a, b, inbox
+
+
+class TestDelivery:
+    def test_message_delivered(self):
+        net = Network()
+        a, b, inbox = make_pair(net)
+        a.send(Message(sender="a", recipient="b", kind="hello", payload="hi"))
+        net.run()
+        assert len(inbox) == 1
+        assert inbox[0].payload == "hi"
+
+    def test_delivery_takes_latency(self):
+        net = Network()
+        a, b, inbox = make_pair(net)
+        a.send(Message(sender="a", recipient="b", kind="x", payload=""))
+        net.run()
+        assert net.now >= INTER_DOMAIN_LATENCY
+
+    def test_bigger_messages_take_longer(self):
+        net1, net2 = Network(), Network()
+        for net, size in ((net1, 10), (net2, 1_000_000)):
+            a, b, _ = make_pair(net)
+            a.send(Message(sender="a", recipient="b", kind="x", payload="y" * size))
+            net.run()
+        assert net2.now > net1.now
+
+    def test_unknown_recipient_dropped(self):
+        net = Network()
+        a = net.node("a")
+        a.send(Message(sender="a", recipient="ghost", kind="x", payload=""))
+        net.run()
+        assert net.metrics.messages_dropped == 1
+
+    def test_crashed_node_drops_traffic(self):
+        net = Network()
+        a, b, inbox = make_pair(net)
+        b.crash()
+        a.send(Message(sender="a", recipient="b", kind="x", payload=""))
+        net.run()
+        assert inbox == []
+        assert net.metrics.messages_dropped == 1
+
+    def test_recovered_node_receives_again(self):
+        net = Network()
+        a, b, inbox = make_pair(net)
+        b.crash()
+        b.recover()
+        a.send(Message(sender="a", recipient="b", kind="x", payload=""))
+        net.run()
+        assert len(inbox) == 1
+
+    def test_duplicate_address_rejected(self):
+        net = Network()
+        net.node("a")
+        # node() is idempotent for the same address...
+        assert net.node("a") is net.get("a")
+        # ...but registering a distinct Node object at the same address fails.
+        from repro.simnet.network import Node
+
+        with pytest.raises(ValueError):
+            Node("a", net)
+
+
+class TestPartitions:
+    def test_partition_blocks_both_directions(self):
+        net = Network()
+        a, b, inbox = make_pair(net)
+        a_inbox = []
+        a.on_message(a_inbox.append)
+        net.partition("a", "b")
+        a.send(Message(sender="a", recipient="b", kind="x", payload=""))
+        b.send(Message(sender="b", recipient="a", kind="y", payload=""))
+        net.run()
+        assert inbox == [] and a_inbox == []
+        assert net.metrics.messages_dropped == 2
+
+    def test_heal_restores_delivery(self):
+        net = Network()
+        a, b, inbox = make_pair(net)
+        net.partition("a", "b")
+        net.heal("a", "b")
+        a.send(Message(sender="a", recipient="b", kind="x", payload=""))
+        net.run()
+        assert len(inbox) == 1
+
+
+class TestLoss:
+    def test_lossy_link_drops_some(self):
+        net = Network(seed=42)
+        a, b, inbox = make_pair(net)
+        net.set_link("a", "b", Link(loss_probability=0.5))
+        for _ in range(200):
+            a.send(Message(sender="a", recipient="b", kind="x", payload=""))
+        net.run()
+        assert 0 < len(inbox) < 200
+
+    def test_loss_is_deterministic_per_seed(self):
+        def run(seed):
+            net = Network(seed=seed)
+            a, b, inbox = make_pair(net)
+            net.set_link("a", "b", Link(loss_probability=0.3))
+            for _ in range(50):
+                a.send(Message(sender="a", recipient="b", kind="x", payload=""))
+            net.run()
+            return len(inbox)
+
+        assert run(7) == run(7)
+
+
+class TestMetrics:
+    def test_bytes_accounted(self):
+        net = Network()
+        a, b, _ = make_pair(net)
+        message = Message(sender="a", recipient="b", kind="x", payload="abcd")
+        a.send(message)
+        net.run()
+        assert net.metrics.bytes_sent == message.size_bytes
+        assert net.metrics.bytes_delivered == message.size_bytes
+
+    def test_per_kind_counters(self):
+        net = Network()
+        a, b, _ = make_pair(net)
+        a.send(Message(sender="a", recipient="b", kind="query", payload=""))
+        a.send(Message(sender="a", recipient="b", kind="query", payload=""))
+        a.send(Message(sender="a", recipient="b", kind="other", payload=""))
+        net.run()
+        assert net.metrics.sent_by_kind["query"] == 2
+        assert net.metrics.sent_by_kind["other"] == 1
+
+    def test_latency_samples_collected(self):
+        net = Network()
+        a, b, _ = make_pair(net)
+        a.send(Message(sender="a", recipient="b", kind="x", payload=""))
+        net.run()
+        stats = net.metrics.latency()
+        assert stats.count == 1
+        assert stats.mean > 0
+
+
+class TestMessage:
+    def test_size_includes_transport_overhead(self):
+        message = Message(sender="a", recipient="b", kind="x", payload="abc")
+        assert message.size_bytes == 3 + TRANSPORT_OVERHEAD_BYTES
+
+    def test_payload_size_utf8(self):
+        assert payload_size("héllo") == len("héllo".encode("utf-8"))
+
+    def test_payload_size_wire_size_attribute(self):
+        class Sized:
+            wire_size = 1234
+
+        assert payload_size(Sized()) == 1234
+
+    def test_reply_addresses_and_correlates(self):
+        message = Message(sender="a", recipient="b", kind="q", payload="x")
+        reply = message.reply("q:response", "y")
+        assert reply.sender == "b"
+        assert reply.recipient == "a"
+        assert reply.reply_to == message.msg_id

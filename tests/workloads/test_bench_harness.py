@@ -1,0 +1,54 @@
+"""Tests for the experiment harness and table rendering."""
+
+import pytest
+
+from repro.bench import Experiment, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(["name", "n"], [["a", 1], ["long-name", 20]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        header, rule, *rows = lines
+        assert all(len(line) == len(header) for line in rows)
+
+    def test_float_formatting(self):
+        table = render_table(["v"], [[0.12345], [1234.5], [2.5]])
+        assert "0.1234" in table or "0.1235" in table
+        assert "1,234" in table or "1,235" in table
+        assert "2.50" in table
+
+    def test_zero_formatting(self):
+        assert "0" in render_table(["v"], [[0.0]])
+
+
+class TestExperiment:
+    def make(self):
+        return Experiment(
+            exp_id="EX",
+            title="test experiment",
+            paper_claim="something holds",
+            columns=["a", "b"],
+        )
+
+    def test_row_arity_enforced(self):
+        experiment = self.make()
+        with pytest.raises(ValueError, match="columns"):
+            experiment.add_row(1)
+
+    def test_column_extraction(self):
+        experiment = self.make()
+        experiment.add_row(1, "x")
+        experiment.add_row(2, "y")
+        assert experiment.column("a") == [1, 2]
+        assert experiment.column("b") == ["x", "y"]
+
+    def test_render_contains_claim_and_notes(self):
+        experiment = self.make()
+        experiment.add_row(1, "x")
+        experiment.note("an observation")
+        rendered = experiment.render()
+        assert "EX" in rendered
+        assert "something holds" in rendered
+        assert "an observation" in rendered

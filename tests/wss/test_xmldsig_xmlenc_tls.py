@@ -1,0 +1,160 @@
+"""Tests for XML-DSig/XML-Enc analogues and TLS channels."""
+
+import pytest
+
+from repro.wss import (
+    CertificateAuthority,
+    HandshakeError,
+    KeyStore,
+    SignatureError,
+    TlsContext,
+    TlsEndpoint,
+    TrustValidator,
+    canonicalize,
+    decrypt_document,
+    encrypt_document,
+    is_authentic,
+    sign_document,
+    verify_document,
+)
+from repro.wss.xmlenc import DecryptionError
+
+
+@pytest.fixture
+def pki():
+    keystore = KeyStore(seed=2)
+    ca = CertificateAuthority("Root", keystore)
+    pair = keystore.generate("signer")
+    cert = ca.issue("signer", pair.public, not_before=0.0, lifetime=1000.0)
+    validator = TrustValidator(keystore, [ca])
+    return keystore, ca, pair, cert, validator
+
+
+class TestXmlDsig:
+    def test_sign_verify(self, pki):
+        keystore, _, pair, cert, validator = pki
+        doc = sign_document("<a>content</a>", pair, cert)
+        verify_document(doc, keystore, validator, at=1.0)
+
+    def test_whitespace_insensitive(self, pki):
+        keystore, _, pair, cert, validator = pki
+        doc = sign_document("<a>\n  <b/>\n</a>", pair, cert)
+        assert canonicalize(doc.content) == "<a><b/></a>"
+        verify_document(doc, keystore, validator, at=1.0)
+
+    def test_tampered_content_rejected(self, pki):
+        from dataclasses import replace
+
+        keystore, _, pair, cert, validator = pki
+        doc = sign_document("<a>content</a>", pair, cert)
+        tampered = replace(doc, content="<a>EVIL</a>")
+        with pytest.raises(SignatureError, match="digest mismatch"):
+            verify_document(tampered, keystore, validator, at=1.0)
+
+    def test_signature_substitution_rejected(self, pki):
+        from dataclasses import replace
+
+        keystore, _, pair, cert, validator = pki
+        doc = sign_document("<a>1</a>", pair, cert)
+        other = sign_document("<a>2</a>", pair, cert)
+        frankendoc = replace(doc, signature=other.signature)
+        with pytest.raises(SignatureError):
+            verify_document(frankendoc, keystore, validator, at=1.0)
+
+    def test_mismatched_cert_rejected_at_sign_time(self, pki):
+        keystore, ca, pair, cert, _ = pki
+        other_pair = keystore.generate("other")
+        with pytest.raises(ValueError, match="does not match"):
+            sign_document("<a/>", other_pair, cert)
+
+    def test_serialized_form_contains_signature_block(self, pki):
+        _, _, pair, cert, _ = pki
+        doc = sign_document("<a/>", pair, cert)
+        xml = doc.to_xml()
+        assert "<ds:Signature" in xml and "<ds:SignatureValue>" in xml
+        assert doc.wire_size > len("<a/>")
+
+    def test_is_authentic_wrapper(self, pki):
+        keystore, _, pair, cert, validator = pki
+        doc = sign_document("<a/>", pair, cert)
+        assert is_authentic(doc, keystore, validator, at=1.0)
+        assert not is_authentic(doc, keystore, validator, at=2000.0)
+
+
+class TestXmlEnc:
+    def test_encrypt_decrypt(self, pki):
+        keystore, _, pair, cert, _ = pki
+        doc = encrypt_document("<secret>42</secret>", pair.public, keystore)
+        assert decrypt_document(doc, pair) == "<secret>42</secret>"
+
+    def test_ciphertext_xml_hides_content(self, pki):
+        keystore, _, pair, _, _ = pki
+        doc = encrypt_document("<secret>42</secret>", pair.public, keystore)
+        assert "42" not in doc.to_xml() or "secret" not in doc.to_xml()
+
+    def test_wrong_recipient_fails(self, pki):
+        keystore, _, pair, _, _ = pki
+        other = keystore.generate("other")
+        doc = encrypt_document("<x/>", pair.public, keystore)
+        with pytest.raises(DecryptionError):
+            decrypt_document(doc, other)
+
+    def test_ciphertext_is_larger_than_plaintext(self, pki):
+        keystore, _, pair, _, _ = pki
+        plaintext = "<data>" + "x" * 500 + "</data>"
+        doc = encrypt_document(plaintext, pair.public, keystore)
+        assert doc.wire_size > len(plaintext)
+
+
+class TestTls:
+    def make_endpoint(self, name, keystore, ca, validator):
+        pair = keystore.generate(name)
+        cert = ca.issue(name, pair.public, not_before=0.0, lifetime=1000.0)
+        return TlsEndpoint(name=name, certificate=cert, validator=validator)
+
+    def test_mutual_handshake(self, pki):
+        keystore, ca, _, _, validator = pki
+        client = self.make_endpoint("client", keystore, ca, validator)
+        server = self.make_endpoint("server", keystore, ca, validator)
+        ctx = TlsContext()
+        result = ctx.connect(client, server, at=1.0)
+        assert result.channel.mutually_authenticated
+        assert result.round_trips > 0
+
+    def test_session_resumption_free(self, pki):
+        keystore, ca, _, _, validator = pki
+        client = self.make_endpoint("client", keystore, ca, validator)
+        server = self.make_endpoint("server", keystore, ca, validator)
+        ctx = TlsContext()
+        ctx.connect(client, server, at=1.0)
+        resumed = ctx.connect(client, server, at=2.0)
+        assert resumed.round_trips == 0
+        assert resumed.handshake_bytes == 0
+        assert ctx.handshakes_performed == 1
+
+    def test_untrusted_server_rejected(self, pki):
+        keystore, ca, _, _, validator = pki
+        rogue_store = KeyStore(seed=77)
+        rogue_ca = CertificateAuthority("Rogue", rogue_store)
+        rogue_pair = rogue_store.generate("rogue-server")
+        rogue_cert = rogue_ca.issue(
+            "rogue-server", rogue_pair.public, not_before=0.0, lifetime=1000.0
+        )
+        rogue_validator = TrustValidator(rogue_store, [rogue_ca])
+        client = self.make_endpoint("client", keystore, ca, validator)
+        server = TlsEndpoint(
+            name="rogue-server", certificate=rogue_cert, validator=rogue_validator
+        )
+        ctx = TlsContext()
+        with pytest.raises(HandshakeError, match="rejected server"):
+            ctx.connect(client, server, at=1.0)
+
+    def test_record_overhead_accounted(self, pki):
+        keystore, ca, _, _, validator = pki
+        client = self.make_endpoint("client", keystore, ca, validator)
+        server = self.make_endpoint("server", keystore, ca, validator)
+        ctx = TlsContext()
+        channel = ctx.connect(client, server, at=1.0).channel
+        wire = channel.protect(100)
+        assert wire > 100
+        assert channel.records_sent == 1

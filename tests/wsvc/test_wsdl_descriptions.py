@@ -1,0 +1,50 @@
+"""Tests for WSDL-lite service descriptions."""
+
+from repro.wsvc import (
+    Operation,
+    ServiceDescription,
+    capability_service_description,
+    pap_description,
+    pdp_description,
+)
+
+
+class TestServiceDescription:
+    def test_operation_lookup(self):
+        description = ServiceDescription(
+            name="svc",
+            service_type="business",
+            address="svc.addr",
+            operations=(
+                Operation("order", "order.request", "order.ack"),
+                Operation("cancel", "cancel.request", "cancel.ack"),
+            ),
+        )
+        assert description.operation("order").input_kind == "order.request"
+        assert description.operation("missing") is None
+        assert description.supports("cancel")
+        assert not description.supports("refund")
+
+    def test_xml_rendering(self):
+        description = pdp_description("pdp-1", "pdp-1.addr", domain="d")
+        xml = description.to_xml()
+        assert 'name="pdp-1"' in xml
+        assert 'type="pdp"' in xml
+        assert 'address="pdp-1.addr"' in xml
+        assert description.wire_size == len(xml.encode("utf-8"))
+
+    def test_canonical_pdp_description(self):
+        description = pdp_description("pdp-x", "addr", domain="acme")
+        assert description.service_type == "pdp"
+        assert description.supports("evaluate")
+        assert description.operation("evaluate").input_kind == "xacml.request"
+
+    def test_canonical_pap_description(self):
+        description = pap_description("pap-x", "addr")
+        assert description.supports("retrieve")
+        assert description.supports("publish")
+
+    def test_canonical_capability_description(self):
+        description = capability_service_description("cas-x", "addr")
+        assert description.service_type == "capability-service"
+        assert description.supports("request-capability")

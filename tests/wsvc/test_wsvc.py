@@ -1,0 +1,291 @@
+"""Tests for the Web Services substrate: SOAP, WS-Security, registry, REST."""
+
+import pytest
+
+from repro.wsvc import (
+    HttpRequest,
+    PolicyAssertion,
+    RegistryError,
+    RestResource,
+    RestRouter,
+    SecurityConfig,
+    ServicePolicy,
+    ServiceRegistry,
+    SoapEnvelope,
+    SoapFault,
+    WsSecurityError,
+    pdp_description,
+    request_envelope,
+    require_role,
+    require_token,
+    response_envelope,
+    secure_envelope,
+    signer_of,
+    verify_envelope,
+)
+from repro.wss import CertificateAuthority, KeyStore, TrustValidator
+
+
+@pytest.fixture
+def pki():
+    keystore = KeyStore(seed=8)
+    ca = CertificateAuthority("Root", keystore)
+    pair = keystore.generate("sender")
+    cert = ca.issue("sender", pair.public, not_before=0.0, lifetime=1000.0)
+    recipient = keystore.generate("recipient")
+    rcert = ca.issue("recipient", recipient.public, not_before=0.0, lifetime=1000.0)
+    validator = TrustValidator(keystore, [ca])
+    return keystore, pair, cert, recipient, rcert, validator
+
+
+class TestSoapEnvelope:
+    def test_roundtrip_plain(self):
+        envelope = request_envelope("op.do", "<Payload x=\"1\"><Inner/></Payload>")
+        reparsed = SoapEnvelope.from_xml(envelope.to_xml())
+        assert reparsed.action == "op.do"
+        assert reparsed.body_xml == envelope.body_xml
+
+    def test_roundtrip_with_headers(self):
+        envelope = request_envelope("op", "<B/>")
+        envelope.add_header("x:Token", "<Value>42</Value>", must_understand=True)
+        envelope.add_header("y:Plain", "text-content")
+        reparsed = SoapEnvelope.from_xml(envelope.to_xml())
+        assert reparsed.header("x:Token").content_xml == "<Value>42</Value>"
+        assert reparsed.header("x:Token").must_understand
+        assert reparsed.header("y:Plain").content_xml == "text-content"
+
+    def test_nested_same_name_header_blocks(self):
+        envelope = request_envelope("op", "<B/>")
+        envelope.add_header("w:Wrap", "<w:Wrap>inner</w:Wrap>")
+        reparsed = SoapEnvelope.from_xml(envelope.to_xml())
+        assert reparsed.header("w:Wrap").content_xml == "<w:Wrap>inner</w:Wrap>"
+
+    def test_not_an_envelope(self):
+        with pytest.raises(SoapFault):
+            SoapEnvelope.from_xml("<NotSoap/>")
+
+    def test_fault_envelope(self):
+        fault = SoapFault("soap:Sender", "bad request")
+        envelope = fault.to_envelope()
+        assert envelope.is_fault
+
+    def test_response_envelope_action(self):
+        request = request_envelope("op", "<B/>")
+        response = response_envelope(request, "<R/>")
+        assert response.action == "op:response"
+
+    def test_wire_size_grows_with_content(self):
+        small = request_envelope("op", "<B/>")
+        large = request_envelope("op", "<B>" + "x" * 1000 + "</B>")
+        assert large.wire_size > small.wire_size
+
+
+class TestWsSecurity:
+    def test_sign_verify_roundtrip_over_wire(self, pki):
+        keystore, pair, cert, _, _, validator = pki
+        envelope = request_envelope("op", "<Data>7</Data>")
+        protected = secure_envelope(envelope, pair, cert, keystore)
+        arrived = SoapEnvelope.from_xml(protected.to_xml())
+        clear = verify_envelope(arrived, keystore, validator)
+        assert clear.body_xml == "<Data>7</Data>"
+        assert signer_of(clear) == "sender"
+
+    def test_encrypt_roundtrip_over_wire(self, pki):
+        keystore, pair, cert, recipient, _, validator = pki
+        envelope = request_envelope("op", "<Secret/>")
+        protected = secure_envelope(
+            envelope, pair, cert, keystore, encrypt_to=recipient.public
+        )
+        assert "<Secret/>" not in protected.to_xml()
+        arrived = SoapEnvelope.from_xml(protected.to_xml())
+        clear = verify_envelope(
+            arrived,
+            keystore,
+            validator,
+            decrypt_with=recipient,
+            config=SecurityConfig(require_encryption=True),
+        )
+        assert clear.body_xml == "<Secret/>"
+
+    def test_tampered_body_rejected(self, pki):
+        keystore, pair, cert, _, _, validator = pki
+        protected = secure_envelope(
+            request_envelope("op", "<Amount>10</Amount>"), pair, cert, keystore
+        )
+        tampered = SoapEnvelope.from_xml(
+            protected.to_xml().replace("<Amount>10<", "<Amount>999<")
+        )
+        with pytest.raises(WsSecurityError, match="digest mismatch"):
+            verify_envelope(tampered, keystore, validator)
+
+    def test_action_binding_prevents_replay_to_other_operation(self, pki):
+        keystore, pair, cert, _, _, validator = pki
+        protected = secure_envelope(
+            request_envelope("op.read", "<B/>"), pair, cert, keystore
+        )
+        replayed = SoapEnvelope.from_xml(
+            protected.to_xml().replace('action="op.read"', 'action="op.delete"')
+        )
+        with pytest.raises(WsSecurityError):
+            verify_envelope(replayed, keystore, validator)
+
+    def test_unsigned_rejected_when_required(self, pki):
+        keystore, _, _, _, _, validator = pki
+        with pytest.raises(WsSecurityError, match="unprotected"):
+            verify_envelope(request_envelope("op", "<B/>"), keystore, validator)
+
+    def test_cleartext_rejected_when_encryption_required(self, pki):
+        keystore, pair, cert, _, _, validator = pki
+        protected = secure_envelope(
+            request_envelope("op", "<B/>"), pair, cert, keystore
+        )
+        with pytest.raises(WsSecurityError, match="cleartext"):
+            verify_envelope(
+                protected,
+                keystore,
+                validator,
+                config=SecurityConfig(require_encryption=True),
+            )
+
+    def test_untrusted_signer_rejected(self, pki):
+        keystore, _, _, _, _, validator = pki
+        rogue_store = KeyStore(seed=55)
+        rogue_ca = CertificateAuthority("Rogue", rogue_store)
+        rogue = rogue_store.generate("rogue")
+        rogue_cert = rogue_ca.issue("rogue", rogue.public, 0.0, 1000.0)
+        protected = secure_envelope(
+            request_envelope("op", "<B/>"), rogue, rogue_cert, rogue_store
+        )
+        with pytest.raises(WsSecurityError):
+            verify_envelope(
+                SoapEnvelope.from_xml(protected.to_xml()), keystore, validator
+            )
+
+    def test_security_adds_measurable_overhead(self, pki):
+        keystore, pair, cert, recipient, _, _ = pki
+        plain = request_envelope("op", "<Data>x</Data>")
+        signed = secure_envelope(plain, pair, cert, keystore)
+        encrypted = secure_envelope(
+            plain, pair, cert, keystore, encrypt_to=recipient.public
+        )
+        assert signed.wire_size > plain.wire_size
+        assert encrypted.wire_size > signed.wire_size
+
+
+class TestRegistry:
+    def test_register_lookup(self):
+        registry = ServiceRegistry()
+        registry.register(pdp_description("pdp-1", "pdp-1", domain="a"))
+        assert registry.lookup("pdp-1").address == "pdp-1"
+
+    def test_duplicate_rejected(self):
+        registry = ServiceRegistry()
+        registry.register(pdp_description("pdp-1", "pdp-1"))
+        with pytest.raises(RegistryError):
+            registry.register(pdp_description("pdp-1", "pdp-1"))
+
+    def test_find_by_type_and_domain(self):
+        registry = ServiceRegistry()
+        registry.register(pdp_description("pdp-a", "pdp-a", domain="a"))
+        registry.register(pdp_description("pdp-b", "pdp-b", domain="b"))
+        found = registry.find(service_type="pdp", domain="b")
+        assert [d.name for d in found] == ["pdp-b"]
+
+    def test_health_filtering(self):
+        registry = ServiceRegistry()
+        registry.register(pdp_description("pdp-a", "pdp-a", domain="a"))
+        registry.mark_health("pdp-a", False)
+        assert registry.find(service_type="pdp") == []
+        assert len(registry.find(service_type="pdp", healthy_only=False)) == 1
+
+    def test_deregister(self):
+        registry = ServiceRegistry()
+        registry.register(pdp_description("pdp-a", "pdp-a"))
+        registry.deregister("pdp-a")
+        with pytest.raises(RegistryError):
+            registry.lookup("pdp-a")
+
+
+class TestWsPolicy:
+    def test_assertion_satisfaction(self):
+        policy = ServicePolicy(
+            service_name="svc",
+            assertions=(
+                require_token(["saml"]),
+                require_role(["analyst", "admin"]),
+            ),
+        )
+        good = {"token-type": {"saml"}, "role": {"analyst"}}
+        bad = {"token-type": {"x509"}, "role": {"analyst"}}
+        assert policy.admits(good)
+        assert not policy.admits(bad)
+        assert len(policy.unmet_assertions(bad)) == 1
+
+    def test_optional_assertion(self):
+        policy = ServicePolicy(
+            service_name="svc",
+            assertions=(
+                PolicyAssertion(kind="logging", optional=True),
+            ),
+        )
+        assert policy.admits({})
+
+    def test_presence_only_assertion(self):
+        policy = ServicePolicy(
+            service_name="svc",
+            assertions=(PolicyAssertion(kind="signed-messages"),),
+        )
+        assert policy.admits({"signed-messages": set()})
+        assert not policy.admits({})
+
+    def test_xml_rendering(self):
+        policy = ServicePolicy(
+            service_name="svc", assertions=(require_token(["saml"]),)
+        )
+        assert "wsp:Policy" in policy.to_xml()
+        assert policy.wire_size > 0
+
+
+class TestRest:
+    def make_router(self):
+        router = RestRouter()
+        router.add(
+            RestResource(
+                uri_template="/records/{patient}/labs",
+                resource_id="labs-{patient}",
+            )
+        )
+        router.add(
+            RestResource(
+                uri_template="/public/status",
+                resource_id="status",
+                allowed_methods=frozenset({"GET"}),
+            )
+        )
+        return router
+
+    def test_route_extracts_parameters(self):
+        router = self.make_router()
+        decision = router.route(
+            HttpRequest(method="GET", uri="/records/p42/labs", subject_id="dr")
+        )
+        assert decision.resource_id == "labs-p42"
+        assert decision.action_id == "read"
+        assert decision.parameters == {"patient": "p42"}
+
+    def test_method_maps_to_action(self):
+        router = self.make_router()
+        decision = router.route(
+            HttpRequest(method="DELETE", uri="/records/p1/labs", subject_id="dr")
+        )
+        assert decision.action_id == "delete"
+
+    def test_unrouted_uri_none(self):
+        router = self.make_router()
+        assert router.route(HttpRequest(method="GET", uri="/nowhere")) is None
+
+    def test_disallowed_method_none(self):
+        router = self.make_router()
+        assert (
+            router.route(HttpRequest(method="POST", uri="/public/status")) is None
+        )

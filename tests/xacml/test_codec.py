@@ -1,0 +1,263 @@
+"""Tests for XML serialization/parsing and structural validation."""
+
+import pytest
+
+from repro.xacml import (
+    Category,
+    Condition,
+    DataType,
+    Decision,
+    Obligation,
+    ObligationAssignment,
+    ParseError,
+    Policy,
+    PolicySet,
+    RequestContext,
+    ResponseContext,
+    Severity,
+    apply_,
+    attribute_equals,
+    combining,
+    deny_rule,
+    designator,
+    integer,
+    is_deployable,
+    literal,
+    parse_policy,
+    parse_request,
+    parse_response,
+    permit_rule,
+    serialize_policy,
+    serialize_request,
+    serialize_response,
+    string,
+    subject_resource_action_target,
+    validate,
+)
+from repro.xacml.expressions import AnyOfFunction
+from repro.xacml.functions import FUNCTION_PREFIX_1_0
+
+
+def rich_policy():
+    return Policy(
+        policy_id="rich",
+        description="a policy exercising most XML features",
+        version="2.3",
+        issuer="dept-admin",
+        target=subject_resource_action_target(resource_id="vault"),
+        rules=(
+            permit_rule(
+                "allow-keyholders",
+                target=subject_resource_action_target(action_id="read"),
+                condition=attribute_equals(
+                    Category.SUBJECT, "urn:test:group", string("keyholders")
+                ),
+                description="keyholders read",
+            ),
+            permit_rule(
+                "allow-higher",
+                condition=Condition(
+                    apply_(
+                        FUNCTION_PREFIX_1_0 + "integer-greater-than",
+                        apply_(
+                            FUNCTION_PREFIX_1_0 + "integer-one-and-only",
+                            designator(
+                                Category.SUBJECT,
+                                "urn:test:level",
+                                DataType.INTEGER,
+                                must_be_present=True,
+                            ),
+                        ),
+                        literal(integer(5)),
+                    )
+                ),
+            ),
+            deny_rule("deny-rest"),
+        ),
+        rule_combining=combining.RULE_FIRST_APPLICABLE,
+        obligations=(
+            Obligation(
+                "urn:test:notify",
+                Decision.PERMIT,
+                assignments=(
+                    ObligationAssignment("channel", string("audit-log")),
+                ),
+            ),
+        ),
+    )
+
+
+class TestPolicyRoundTrip:
+    def test_rich_policy_roundtrip(self):
+        policy = rich_policy()
+        assert parse_policy(serialize_policy(policy)) == policy
+
+    def test_policy_set_roundtrip(self):
+        policy_set = PolicySet(
+            policy_set_id="set",
+            description="nested",
+            children=(
+                rich_policy(),
+                PolicySet(
+                    policy_set_id="inner",
+                    children=(
+                        Policy(policy_id="leaf", rules=(deny_rule("d"),)),
+                    ),
+                ),
+            ),
+            policy_combining=combining.POLICY_FIRST_APPLICABLE,
+        )
+        assert parse_policy(serialize_policy(policy_set)) == policy_set
+
+    def test_higher_order_roundtrip(self):
+        policy = Policy(
+            policy_id="ho",
+            rules=(
+                permit_rule(
+                    "any-role",
+                    condition=Condition(
+                        AnyOfFunction(
+                            function_id=FUNCTION_PREFIX_1_0 + "string-equal",
+                            value=literal(string("admin")),
+                            bag=designator(Category.SUBJECT, "urn:test:roles"),
+                        )
+                    ),
+                ),
+            ),
+        )
+        assert parse_policy(serialize_policy(policy)) == policy
+
+    def test_malformed_xml(self):
+        with pytest.raises(ParseError, match="malformed"):
+            parse_policy("<Policy")
+
+    def test_wrong_root_element(self):
+        with pytest.raises(ParseError, match="expected"):
+            parse_policy("<Other/>")
+
+    def test_decision_survives_roundtrip(self):
+        policy = rich_policy()
+        reparsed = parse_policy(serialize_policy(policy))
+        request = RequestContext.simple(
+            "anyone",
+            "vault",
+            "read",
+            subject_attributes={"urn:test:group": [string("keyholders")]},
+        )
+        from repro.xacml import evaluate_element
+
+        assert (
+            evaluate_element(policy, request).decision
+            == evaluate_element(reparsed, request).decision
+            == Decision.PERMIT
+        )
+
+
+class TestContextRoundTrip:
+    def test_request_roundtrip(self):
+        request = RequestContext.simple(
+            "alice",
+            "doc",
+            "read",
+            subject_attributes={"urn:test:role": [string("a"), string("b")]},
+            environment={"urn:test:tod": [integer(42)]},
+        )
+        reparsed = parse_request(serialize_request(request))
+        assert reparsed.cache_key() == request.cache_key()
+        assert reparsed.subject_id == "alice"
+
+    def test_response_roundtrip(self):
+        response = ResponseContext.single(
+            Decision.PERMIT,
+            obligations=(
+                Obligation(
+                    "urn:test:ob",
+                    Decision.PERMIT,
+                    assignments=(ObligationAssignment("k", string("v")),),
+                ),
+            ),
+            resource_id="doc",
+        )
+        reparsed = parse_response(serialize_response(response))
+        assert reparsed.decision is Decision.PERMIT
+        assert reparsed.result.obligations[0].assignment("k").value == "v"
+
+    def test_indeterminate_status_roundtrip(self):
+        from repro.xacml import Status, StatusCode
+
+        response = ResponseContext.single(
+            Decision.INDETERMINATE,
+            status=Status(
+                code=StatusCode.MISSING_ATTRIBUTE, message="missing role"
+            ),
+        )
+        reparsed = parse_response(serialize_response(response))
+        assert reparsed.result.status.code is StatusCode.MISSING_ATTRIBUTE
+        assert "missing role" in reparsed.result.status.message
+
+    def test_empty_response_rejected(self):
+        with pytest.raises(ParseError):
+            parse_response("<Response></Response>")
+
+
+class TestValidation:
+    def test_clean_policy_deployable(self):
+        assert is_deployable(rich_policy())
+
+    def test_unknown_function_flagged(self):
+        policy = Policy(
+            policy_id="bad",
+            rules=(
+                permit_rule(
+                    "r",
+                    condition=Condition(apply_("urn:bogus:function")),
+                ),
+            ),
+        )
+        issues = validate(policy)
+        assert any(
+            issue.severity is Severity.ERROR and "unknown function" in issue.message
+            for issue in issues
+        )
+        assert not is_deployable(policy)
+
+    def test_empty_policy_warns(self):
+        policy = Policy(policy_id="empty", rules=())
+        issues = validate(policy)
+        assert any(issue.severity is Severity.WARNING for issue in issues)
+        assert is_deployable(policy)  # warnings do not block deployment
+
+    def test_unreachable_rule_after_unconditional_first_applicable(self):
+        policy = Policy(
+            policy_id="shadowed",
+            rules=(permit_rule("catch-all"), deny_rule("never-reached")),
+            rule_combining=combining.RULE_FIRST_APPLICABLE,
+        )
+        issues = validate(policy)
+        assert any("unreachable" in issue.message for issue in issues)
+
+    def test_type_mismatch_in_match_flagged(self):
+        from repro.xacml import AttributeDesignator, Match, Target, AnyOf, AllOf
+
+        bad_match = Match(
+            match_function=FUNCTION_PREFIX_1_0 + "string-equal",
+            value=integer(1),
+            designator=AttributeDesignator(
+                category=Category.SUBJECT,
+                attribute_id="urn:test:x",
+                data_type=DataType.STRING,
+            ),
+        )
+        policy = Policy(
+            policy_id="mismatch",
+            rules=(
+                permit_rule(
+                    "r",
+                    target=Target(
+                        any_ofs=(AnyOf(all_ofs=(AllOf(matches=(bad_match,)),)),)
+                    ),
+                ),
+            ),
+        )
+        issues = validate(policy)
+        assert any("data types differ" in issue.message for issue in issues)

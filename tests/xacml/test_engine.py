@@ -1,0 +1,155 @@
+"""Tests for the PDP engine and indexed policy store."""
+
+import pytest
+
+from repro.xacml import (
+    Decision,
+    PdpEngine,
+    Policy,
+    PolicyStore,
+    RequestContext,
+    combining,
+    deny_rule,
+    permit_rule,
+    string,
+    subject_resource_action_target,
+)
+
+
+def resource_policy(resource_id, subject_id="alice"):
+    return Policy(
+        policy_id=f"policy-{resource_id}",
+        rules=(
+            permit_rule(
+                "allow",
+                subject_resource_action_target(subject_id=subject_id),
+            ),
+            deny_rule("deny-rest"),
+        ),
+        rule_combining=combining.RULE_FIRST_APPLICABLE,
+        target=subject_resource_action_target(resource_id=resource_id),
+    )
+
+
+class TestPolicyStore:
+    def test_duplicate_ids_rejected(self):
+        store = PolicyStore()
+        store.add(resource_policy("doc-1"))
+        with pytest.raises(ValueError, match="duplicate"):
+            store.add(resource_policy("doc-1"))
+
+    def test_replace(self):
+        store = PolicyStore()
+        store.add(resource_policy("doc-1"))
+        replacement = resource_policy("doc-1", subject_id="bob")
+        store.replace(replacement)
+        assert store.get("policy-doc-1") is replacement
+
+    def test_index_prunes_candidates(self):
+        store = PolicyStore(indexed=True)
+        for index in range(100):
+            store.add(resource_policy(f"doc-{index}"))
+        request = RequestContext.simple("alice", "doc-7", "read")
+        candidates = store.candidates(request)
+        assert len(candidates) == 1
+        assert candidates[0].policy_id == "policy-doc-7"
+
+    def test_unindexed_store_scans_everything(self):
+        store = PolicyStore(indexed=False)
+        for index in range(10):
+            store.add(resource_policy(f"doc-{index}"))
+        request = RequestContext.simple("alice", "doc-7", "read")
+        assert len(store.candidates(request)) == 10
+
+    def test_unindexable_policy_always_candidate(self):
+        store = PolicyStore(indexed=True)
+        store.add(resource_policy("doc-1"))
+        universal = Policy(policy_id="universal", rules=(deny_rule("d"),))
+        store.add(universal)
+        request = RequestContext.simple("alice", "other", "read")
+        assert universal in store.candidates(request)
+
+    def test_remove_clears_index(self):
+        store = PolicyStore(indexed=True)
+        store.add(resource_policy("doc-1"))
+        store.remove("policy-doc-1")
+        request = RequestContext.simple("alice", "doc-1", "read")
+        assert store.candidates(request) == []
+
+
+class TestPdpEngine:
+    def test_indexed_and_linear_agree(self):
+        """Indexing is an optimisation: it must never change decisions."""
+        policies = [resource_policy(f"doc-{i}") for i in range(30)]
+        indexed = PdpEngine(PolicyStore(indexed=True))
+        linear = PdpEngine(PolicyStore(indexed=False))
+        for policy in policies:
+            indexed.add_policy(policy)
+            linear.add_policy(policy)
+        for subject in ("alice", "bob"):
+            for resource in ("doc-0", "doc-15", "missing"):
+                request = RequestContext.simple(subject, resource, "read")
+                assert indexed.decide(request) == linear.decide(request)
+
+    def test_not_applicable_when_nothing_matches(self):
+        engine = PdpEngine()
+        engine.add_policy(resource_policy("doc-1"))
+        request = RequestContext.simple("alice", "unknown", "read")
+        assert engine.decide(request) is Decision.NOT_APPLICABLE
+
+    def test_stats_reported(self):
+        engine = PdpEngine()
+        for index in range(20):
+            engine.add_policy(resource_policy(f"doc-{index}"))
+        response = engine.evaluate(RequestContext.simple("alice", "doc-3", "read"))
+        assert response.stats.policies_considered == 1
+        assert response.stats.policies_skipped_by_index == 19
+
+    def test_obligations_flow_to_response(self):
+        from repro.xacml import Obligation
+
+        obligation = Obligation("urn:test:audit", Decision.PERMIT)
+        policy = Policy(
+            policy_id="with-ob",
+            rules=(permit_rule("r"),),
+            obligations=(obligation,),
+        )
+        engine = PdpEngine()
+        engine.add_policy(policy)
+        response = engine.evaluate(RequestContext.simple("a", "r", "read"))
+        assert response.response.result.obligations == (obligation,)
+
+    def test_engine_counts_evaluations(self):
+        engine = PdpEngine()
+        engine.add_policy(resource_policy("doc-1"))
+        engine.decide(RequestContext.simple("alice", "doc-1", "read"))
+        engine.decide(RequestContext.simple("alice", "doc-1", "read"))
+        assert engine.evaluations == 2
+
+    def test_attribute_finder_used(self):
+        from repro.xacml import Category, attribute_equals
+
+        policy = Policy(
+            policy_id="role-gated",
+            rules=(
+                permit_rule(
+                    "r",
+                    condition=attribute_equals(
+                        Category.SUBJECT, "urn:test:role", string("ops")
+                    ),
+                ),
+                deny_rule("d"),
+            ),
+            rule_combining=combining.RULE_FIRST_APPLICABLE,
+        )
+
+        def finder(category, attribute_id, data_type):
+            if attribute_id == "urn:test:role":
+                return [string("ops")]
+            return []
+
+        engine = PdpEngine(attribute_finder=finder)
+        engine.add_policy(policy)
+        response = engine.evaluate(RequestContext.simple("s", "r", "read"))
+        assert response.decision is Decision.PERMIT
+        assert response.stats.finder_calls == 1

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) for the XACML core.
+
+Invariants checked:
+
+* combining-algorithm algebra (deny/permit-overrides invariance under
+  permutation; deny-overrides never yields Permit if any child denies);
+* serializer/parser round-trip over randomly generated policies;
+* target indexing never changes engine decisions;
+* request cache keys are stable under attribute reordering.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xacml import (
+    Decision,
+    PdpEngine,
+    Policy,
+    PolicyStore,
+    RequestContext,
+    combining,
+    deny_rule,
+    parse_policy,
+    permit_rule,
+    serialize_policy,
+    string,
+    subject_resource_action_target,
+)
+
+decisions = st.sampled_from(
+    [Decision.PERMIT, Decision.DENY, Decision.NOT_APPLICABLE, Decision.INDETERMINATE]
+)
+
+subjects = st.sampled_from([f"s{i}" for i in range(6)])
+resources = st.sampled_from([f"r{i}" for i in range(6)])
+actions = st.sampled_from(["read", "write", "delete"])
+
+
+def evaluables(items):
+    return [lambda d=d: (d, None) for d in items]
+
+
+class TestCombiningAlgebra:
+    @given(st.lists(decisions, max_size=8), st.randoms())
+    def test_deny_overrides_permutation_invariant(self, items, rnd):
+        combiner = combining.lookup(combining.RULE_DENY_OVERRIDES)
+        baseline, _ = combiner(evaluables(items))
+        shuffled = list(items)
+        rnd.shuffle(shuffled)
+        permuted, _ = combiner(evaluables(shuffled))
+        assert baseline == permuted
+
+    @given(st.lists(decisions, max_size=8), st.randoms())
+    def test_permit_overrides_permutation_invariant(self, items, rnd):
+        combiner = combining.lookup(combining.RULE_PERMIT_OVERRIDES)
+        baseline, _ = combiner(evaluables(items))
+        shuffled = list(items)
+        rnd.shuffle(shuffled)
+        permuted, _ = combiner(evaluables(shuffled))
+        assert baseline == permuted
+
+    @given(st.lists(decisions, max_size=8))
+    def test_deny_overrides_never_permits_over_a_deny(self, items):
+        combiner = combining.lookup(combining.RULE_DENY_OVERRIDES)
+        decision, _ = combiner(evaluables(items))
+        if Decision.DENY in items:
+            assert decision is Decision.DENY
+        if decision is Decision.PERMIT:
+            assert Decision.DENY not in items
+            assert Decision.INDETERMINATE not in items
+
+    @given(st.lists(decisions, max_size=8))
+    def test_permit_overrides_never_denies_over_a_permit(self, items):
+        combiner = combining.lookup(combining.RULE_PERMIT_OVERRIDES)
+        decision, _ = combiner(evaluables(items))
+        if Decision.PERMIT in items:
+            assert decision is Decision.PERMIT
+
+    @given(st.lists(decisions, max_size=8))
+    def test_first_applicable_matches_manual_scan(self, items):
+        combiner = combining.lookup(combining.RULE_FIRST_APPLICABLE)
+        decision, _ = combiner(evaluables(items))
+        expected = Decision.NOT_APPLICABLE
+        for item in items:
+            if item is not Decision.NOT_APPLICABLE:
+                expected = item
+                break
+        assert decision == expected
+
+    @given(st.lists(decisions, max_size=8))
+    def test_all_not_applicable_stays_not_applicable(self, items):
+        if any(d is not Decision.NOT_APPLICABLE for d in items):
+            return
+        for algorithm in (
+            combining.RULE_DENY_OVERRIDES,
+            combining.RULE_PERMIT_OVERRIDES,
+            combining.RULE_FIRST_APPLICABLE,
+        ):
+            decision, _ = combining.lookup(algorithm)(evaluables(items))
+            assert decision is Decision.NOT_APPLICABLE
+
+
+@st.composite
+def random_policies(draw):
+    rule_count = draw(st.integers(min_value=1, max_value=5))
+    rules = []
+    for index in range(rule_count):
+        effect_permit = draw(st.booleans())
+        subject = draw(st.one_of(st.none(), subjects))
+        resource = draw(st.one_of(st.none(), resources))
+        action = draw(st.one_of(st.none(), actions))
+        target = subject_resource_action_target(subject, resource, action)
+        builder = permit_rule if effect_permit else deny_rule
+        rules.append(builder(f"rule-{index}", target=target))
+    algorithm = draw(
+        st.sampled_from(
+            [
+                combining.RULE_DENY_OVERRIDES,
+                combining.RULE_PERMIT_OVERRIDES,
+                combining.RULE_FIRST_APPLICABLE,
+            ]
+        )
+    )
+    policy_id = draw(st.uuids()).hex
+    return Policy(
+        policy_id=f"gen-{policy_id}",
+        rules=tuple(rules),
+        rule_combining=algorithm,
+        target=subject_resource_action_target(
+            draw(st.one_of(st.none(), subjects)),
+            draw(st.one_of(st.none(), resources)),
+            None,
+        ),
+    )
+
+
+class TestRoundTripProperties:
+    @given(random_policies())
+    @settings(max_examples=60)
+    def test_serialize_parse_roundtrip(self, policy):
+        assert parse_policy(serialize_policy(policy)) == policy
+
+    @given(random_policies(), subjects, resources, actions)
+    @settings(max_examples=60)
+    def test_roundtrip_preserves_decisions(self, policy, subject, resource, action):
+        from repro.xacml import evaluate_element
+
+        request = RequestContext.simple(subject, resource, action)
+        original = evaluate_element(policy, request).decision
+        reparsed = evaluate_element(
+            parse_policy(serialize_policy(policy)), request
+        ).decision
+        assert original == reparsed
+
+
+class TestIndexingProperties:
+    @given(
+        st.lists(random_policies(), min_size=1, max_size=10, unique_by=lambda p: p.policy_id),
+        subjects,
+        resources,
+        actions,
+    )
+    @settings(max_examples=40)
+    def test_indexing_never_changes_decisions(
+        self, policies, subject, resource, action
+    ):
+        indexed = PdpEngine(PolicyStore(indexed=True))
+        linear = PdpEngine(PolicyStore(indexed=False))
+        for policy in policies:
+            indexed.add_policy(policy)
+            linear.add_policy(policy)
+        request = RequestContext.simple(subject, resource, action)
+        assert indexed.decide(request) == linear.decide(request)
+
+
+class TestCacheKeyProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["urn:a", "urn:b", "urn:c"]),
+                st.text(
+                    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                    min_size=1,
+                    max_size=6,
+                ),
+            ),
+            max_size=6,
+        ),
+        st.randoms(),
+    )
+    def test_cache_key_order_insensitive(self, pairs, rnd):
+        from repro.xacml import Attribute, Category
+
+        def build(ordering):
+            request = RequestContext.simple("s", "r", "read")
+            for attr_id, value in ordering:
+                request.add(
+                    Category.SUBJECT, Attribute.of(attr_id, string(value))
+                )
+            return request
+
+        shuffled = list(pairs)
+        rnd.shuffle(shuffled)
+        assert build(pairs).cache_key() == build(shuffled).cache_key()
