@@ -8,8 +8,8 @@ EXPERIMENTS.md for the experiment-by-experiment reproduction record.
 Layering (bottom-up):
 
 ``simnet`` → ``wss`` → ``wsvc`` → ``xacml`` → ``saml`` → ``components`` →
-``domain`` → ``models`` → ``capability`` → ``admin`` → ``core`` →
-``workloads`` → ``bench``
+``domain`` → ``models`` → ``capability`` → ``admin`` → ``revocation`` →
+``core`` → ``workloads`` → ``bench``
 """
 
 __version__ = "1.0.0"
@@ -25,6 +25,7 @@ __all__ = [
     "models",
     "capability",
     "admin",
+    "revocation",
     "core",
     "workloads",
     "bench",

@@ -86,9 +86,16 @@ class DelegationRegistry:
         self._grants: list[AdminGrant] = []
         self.reductions_performed = 0
         self.total_steps = 0
+        #: Optional unified revocation registry (duck-typed; see
+        #: repro.revocation): bound, every withdrawn grant is recorded
+        #: there, giving revoked delegations a propagation path.
+        self._revocation_registry = None
 
     def add_root(self, authority: str) -> None:
         self.roots.add(authority)
+
+    def bind_revocation_registry(self, registry) -> None:
+        self._revocation_registry = registry
 
     def grant(
         self,
@@ -132,6 +139,10 @@ class DelegationRegistry:
         ]
         for victim in victims:
             self._grants.remove(victim)
+        if victims and self._revocation_registry is not None:
+            self._revocation_registry.revoke_delegation(
+                delegator, delegate, str(scope)
+            )
         return len(victims)
 
     def grants_to(self, delegate: str) -> list[AdminGrant]:

@@ -52,6 +52,7 @@ from .pep import (
     ObligationHandler,
     PepConfig,
     PolicyEnforcementPoint,
+    RevocationGuard,
 )
 from .pip import (
     AttributeStore,
@@ -91,6 +92,7 @@ __all__ = [
     "PolicyInformationPoint",
     "PolicyRepository",
     "QUERY_ACTION",
+    "RevocationGuard",
     "RpcFault",
     "RpcTimeout",
     "SECURE_QUERY_ACTION",

@@ -26,6 +26,7 @@ from typing import Callable, Optional
 
 from ..saml.xacml_profile import XacmlAuthzDecisionQuery, XacmlAuthzDecisionStatement
 from ..simnet.network import Network
+from ..xacml.attributes import Category, RESOURCE_ID, SUBJECT_ID
 from ..wsvc.soap import SoapEnvelope
 from ..wsvc.ws_security import (
     SecurityConfig,
@@ -48,6 +49,12 @@ from .pdp import QUERY_ACTION, SECURE_QUERY_ACTION
 #: Obligation handler: receives the obligation and the request, performs
 #: the action, returns True when fulfilled.
 ObligationHandler = Callable[[Obligation, RequestContext], bool]
+
+#: Revocation guard: consulted before any decision (cached or fresh) is
+#: served; returns a denial reason when the request hits revoked state,
+#: None to let enforcement proceed.  Installed by
+#: :meth:`repro.revocation.coherence.CoherenceAgent.protect_pep`.
+RevocationGuard = Callable[[RequestContext], Optional[str]]
 
 
 @dataclass
@@ -103,11 +110,14 @@ class PolicyEnforcementPoint(Component):
             capacity=self.config.decision_cache_capacity,
         )
         self._obligation_handlers: dict[str, ObligationHandler] = {}
+        #: Optional revocation coherence hook (see repro.revocation).
+        self.revocation_guard: Optional[RevocationGuard] = None
         self.enforcements = 0
         self.grants = 0
         self.denials = 0
         self.fail_safe_denials = 0
         self.obligation_failures = 0
+        self.revocation_denials = 0
 
     # -- obligations --------------------------------------------------------------
 
@@ -187,6 +197,16 @@ class PolicyEnforcementPoint(Component):
     def authorize(self, request: RequestContext) -> EnforcementResult:
         """Full pull-model enforcement of one access request."""
         self.enforcements += 1
+        if self.revocation_guard is not None:
+            reason = self.revocation_guard(request)
+            if reason is not None:
+                self.revocation_denials += 1
+                self.denials += 1
+                return EnforcementResult(
+                    decision=Decision.DENY,
+                    source="revocation",
+                    detail=reason,
+                )
         cache_key = request.cache_key()
         cached = self.decision_cache.get(cache_key)
         if cached is not None:
@@ -263,6 +283,32 @@ class PolicyEnforcementPoint(Component):
     def invalidate_cached_decisions(self) -> None:
         """Drop all cached decisions (e.g. after a known policy change)."""
         self.decision_cache.clear()
+
+    def invalidate_decisions_for(
+        self,
+        subject_id: Optional[str] = None,
+        resource_id: Optional[str] = None,
+    ) -> int:
+        """Selectively drop cached decisions touching a subject/resource.
+
+        This is the precise form of coherence a revocation event needs:
+        revoking one subject's rights must not cost every other cached
+        decision (paper §3.2 pits caching against revocation
+        flexibility).  With both filters given, entries matching *either*
+        are dropped.  Returns the number of entries invalidated.
+        """
+        if subject_id is None and resource_id is None:
+            return 0
+        wanted = set()
+        if subject_id is not None:
+            wanted.add((Category.SUBJECT.value, SUBJECT_ID, subject_id))
+        if resource_id is not None:
+            wanted.add((Category.RESOURCE.value, RESOURCE_ID, resource_id))
+
+        def touches(key) -> bool:
+            return any(part in wanted for part in key)
+
+        return self.decision_cache.invalidate_where(touches)
 
     # -- revocation push (paper §3.2: caching vs revocation flexibility) ---------
 

@@ -45,6 +45,13 @@ class TrustGraph:
     def __init__(self) -> None:
         self._edges: set[tuple[str, str, TrustKind]] = set()
         self._log: list[TrustEdge] = []
+        #: Optional unified revocation registry (duck-typed; see
+        #: repro.revocation).  Bound, every edge revocation is recorded
+        #: there so cross-domain coherence can propagate it.
+        self._revocation_registry = None
+
+    def bind_revocation_registry(self, registry) -> None:
+        self._revocation_registry = registry
 
     def establish(
         self, truster: str, trusted: str, kind: TrustKind, at: float = 0.0
@@ -67,6 +74,10 @@ class TrustGraph:
         key = (truster, trusted, kind)
         if key in self._edges:
             self._edges.remove(key)
+            if self._revocation_registry is not None:
+                self._revocation_registry.revoke_trust_edge(
+                    truster, trusted, kind.value
+                )
             return True
         return False
 

@@ -54,6 +54,13 @@ class DacModel:
     def __init__(self, name: str = "dac") -> None:
         self.name = name
         self._acls: dict[str, ResourceAcl] = {}
+        #: Optional unified revocation registry (duck-typed; see
+        #: repro.revocation): bound, every removed entry — including the
+        #: cascade — is recorded there for cross-domain coherence.
+        self._revocation_registry = None
+
+    def bind_revocation_registry(self, registry) -> None:
+        self._revocation_registry = registry
 
     def register_resource(self, resource_id: str, owner: str) -> ResourceAcl:
         if resource_id in self._acls:
@@ -151,6 +158,19 @@ class DacModel:
         for victim in victims:
             acl.entries.remove(victim)
             removed += 1
+        # Only the removal of *positive* entries is a revocation; removing
+        # a negative (deny) entry restores access and must not be recorded
+        # as a permanent entitlement revocation.
+        if self._revocation_registry is not None and any(
+            victim.allow for victim in victims
+        ):
+            self._revocation_registry.revoke_entitlement(
+                self.name,
+                subject_id,
+                resource_id,
+                action_id,
+                reason=f"revoked by {revoker}",
+            )
         if cascade:
             # Entries granted by the revoked subject fall with it unless the
             # grantee still holds the right from another live grantor.

@@ -93,6 +93,13 @@ class RbacModel:
         self._role_permissions: dict[str, set[Permission]] = {}
         self._ssd: list[SsdConstraint] = []
         self._dsd: list[DsdConstraint] = []
+        #: Optional unified revocation registry (duck-typed; see
+        #: repro.revocation): bound, permission revocations are recorded
+        #: there so coherence agents can invalidate affected caches.
+        self._revocation_registry = None
+
+    def bind_revocation_registry(self, registry) -> None:
+        self._revocation_registry = registry
 
     # -- roles and hierarchy -------------------------------------------------------
 
@@ -180,9 +187,13 @@ class RbacModel:
         self._role_permissions[role].add(Permission(resource_id, action_id))
 
     def revoke_permission(self, role: str, resource_id: str, action_id: str) -> None:
-        self._role_permissions.get(role, set()).discard(
-            Permission(resource_id, action_id)
-        )
+        permissions = self._role_permissions.get(role, set())
+        present = Permission(resource_id, action_id) in permissions
+        permissions.discard(Permission(resource_id, action_id))
+        if present and self._revocation_registry is not None:
+            self._revocation_registry.revoke_role_permission(
+                self.name, role, resource_id, action_id
+            )
 
     def role_permissions(self, role: str) -> set[Permission]:
         """Direct + inherited permissions of a role."""

@@ -1,0 +1,85 @@
+"""Unified revocation & cache coherence (paper §3.2 staleness mitigation).
+
+The seed bounded staleness with TTLs only; this package makes revocation
+a first-class subsystem:
+
+* :mod:`records` — one signed, epoch-numbered record type unifying
+  capability, delegation, certificate, trust-edge and entitlement
+  revocation;
+* :mod:`registry` — the single source of revocation truth, with point
+  queries, delta CRLs and push listeners;
+* :mod:`authority` — the registry's network face (OCSP-style status RPC
+  + CRL pull RPC);
+* :mod:`bus` — publish/subscribe invalidation over simnet topic routing;
+* :mod:`strategies` — ttl-only / pull / online / push propagation as
+  first-class objects (experiment E15 sweeps them);
+* :mod:`coherence` — per-domain agents that selectively invalidate PEP
+  decision caches, PDP policy caches and capability verification.
+"""
+
+from .authority import (
+    CRL_ACTION,
+    RevocationAuthority,
+    STATUS_ACTION,
+    crl_request,
+    parse_status,
+    status_request,
+)
+from .bus import DEFAULT_TOPIC, INVALIDATION_KIND, InvalidationBus
+from .coherence import CoherenceAgent
+from .records import (
+    RevocationError,
+    RevocationKind,
+    RevocationRecord,
+    capability_target,
+    certificate_target,
+    delegation_target,
+    entitlement_target,
+    parse_records,
+    serialize_records,
+    subject_access_target,
+    subject_capability_target,
+    trust_edge_target,
+    verify_record,
+)
+from .registry import RevocationListener, RevocationRegistry
+from .strategies import (
+    OnlineStatusStrategy,
+    PropagationStrategy,
+    PullStrategy,
+    PushStrategy,
+    TtlOnlyStrategy,
+)
+
+__all__ = [
+    "CRL_ACTION",
+    "CoherenceAgent",
+    "DEFAULT_TOPIC",
+    "INVALIDATION_KIND",
+    "InvalidationBus",
+    "OnlineStatusStrategy",
+    "PropagationStrategy",
+    "PullStrategy",
+    "PushStrategy",
+    "RevocationAuthority",
+    "RevocationError",
+    "RevocationKind",
+    "RevocationListener",
+    "RevocationRecord",
+    "RevocationRegistry",
+    "STATUS_ACTION",
+    "TtlOnlyStrategy",
+    "capability_target",
+    "certificate_target",
+    "crl_request",
+    "delegation_target",
+    "entitlement_target",
+    "parse_records",
+    "parse_status",
+    "serialize_records",
+    "status_request",
+    "subject_access_target",
+    "subject_capability_target",
+    "trust_edge_target",
+    "verify_record",
+]

@@ -1,0 +1,52 @@
+"""Publish/subscribe invalidation bus over simnet topic routing.
+
+The push strategy's transport: the revocation authority publishes each
+new record on a network topic; every subscribed coherence agent receives
+its own copy over its own link (latency, loss, partitions all apply —
+a pushed invalidation can be *lost*, which is why the pull strategy
+remains the safety net in dependability deployments).
+"""
+
+from __future__ import annotations
+
+from ..simnet.network import Network
+from .records import RevocationRecord
+
+#: Message kind carried by pushed invalidations.
+INVALIDATION_KIND = "revocation.invalidate"
+#: Default topic revocation traffic rides on.
+DEFAULT_TOPIC = "revocation"
+
+
+class InvalidationBus:
+    """A named topic on the simulated network carrying revocation records."""
+
+    def __init__(self, network: Network, topic: str = DEFAULT_TOPIC) -> None:
+        self.network = network
+        self.topic = topic
+        self.publications = 0
+        self.messages_pushed = 0
+
+    def subscribe(self, address: str) -> None:
+        self.network.subscribe(self.topic, address)
+
+    def unsubscribe(self, address: str) -> bool:
+        return self.network.unsubscribe(self.topic, address)
+
+    def subscriber_count(self) -> int:
+        return len(self.network.subscribers(self.topic))
+
+    def publish(self, sender: str, record: RevocationRecord) -> int:
+        """Push one record to every subscriber; returns messages sent."""
+        sent = self.network.publish(
+            sender, self.topic, INVALIDATION_KIND, record.to_xml()
+        )
+        self.publications += 1
+        self.messages_pushed += sent
+        return sent
+
+    def __repr__(self) -> str:
+        return (
+            f"InvalidationBus({self.topic!r}, "
+            f"subscribers={self.subscriber_count()})"
+        )

@@ -1,0 +1,175 @@
+"""Propagation strategies: how revocation reaches relying parties.
+
+Three first-class strategies cover the classic design space the paper's
+communication-performance analysis (§3.2) opens, plus the do-nothing
+baseline experiments compare against:
+
+==============  ======================  ==============================
+strategy        staleness window        message cost
+==============  ======================  ==============================
+ttl-only        cache TTL               none
+pull (CRL)      poll interval           2 msgs / poll / relying party
+online (OCSP)   ~0 (one RTT)            2 msgs / *check*
+push (bus)      propagation latency     1 msg / revocation / subscriber
+==============  ======================  ==============================
+
+Each strategy attaches to a :class:`~repro.revocation.coherence.
+CoherenceAgent` and answers ``check(agent, kind, target)`` at
+enforcement time; pull and push additionally feed the agent's local
+view (which is what triggers selective cache invalidation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..components.base import RpcFault, RpcTimeout
+from ..components.cache import TtlCache
+from .bus import INVALIDATION_KIND, InvalidationBus
+from .records import RevocationError, RevocationKind
+
+#: A failed authority interaction: unreachable, faulting, or replying
+#: with garbage (a compromised/misconfigured endpoint must degrade the
+#: strategy, never crash the simulation).
+_AUTHORITY_ERRORS = (RpcTimeout, RpcFault, RevocationError)
+
+
+class PropagationStrategy:
+    """Base strategy: no propagation at all (the TTL-only baseline).
+
+    Relying parties never learn about revocations; correctness rests
+    entirely on cache TTLs and authoritative-state changes at the
+    PDP/PIP — exactly the seed behaviour E15 uses as its baseline.
+    """
+
+    name = "ttl-only"
+
+    def attach(self, agent) -> None:  # pragma: no cover - trivial
+        pass
+
+    def detach(self, agent) -> None:  # pragma: no cover - trivial
+        pass
+
+    def check(self, agent, kind: RevocationKind, target: str) -> bool:
+        return agent.is_revoked_locally(kind, target)
+
+
+#: Alias that reads better at call sites building the E15 baseline.
+TtlOnlyStrategy = PropagationStrategy
+
+
+class PullStrategy(PropagationStrategy):
+    """Periodic delta-CRL pull: bounded staleness, bounded message cost.
+
+    Every ``interval`` simulated seconds the agent asks the authority
+    for records newer than its epoch.  An unreachable authority is
+    tolerated (the poll retries next round) — the dependability
+    behaviour CRL distribution points are deployed for.
+    """
+
+    name = "pull"
+
+    def __init__(self, interval: float = 30.0) -> None:
+        if interval <= 0:
+            raise ValueError(f"poll interval must be positive, got {interval}")
+        self.interval = interval
+        self.polls = 0
+        self.failed_polls = 0
+        self._stopped = False
+        self._agent = None
+
+    def attach(self, agent) -> None:
+        # Per-instance state (stop flag, counters) cannot serve two
+        # agents: a detach for one would silently freeze the other's
+        # revocation view.
+        if self._agent is not None and self._agent is not agent:
+            raise ValueError(
+                "PullStrategy instance already attached to "
+                f"{self._agent.name!r}; build one per agent"
+            )
+        self._agent = agent
+        self._stopped = False
+        self._schedule_next(agent)
+
+    def detach(self, agent) -> None:
+        self._stopped = True
+
+    def _schedule_next(self, agent) -> None:
+        agent.network.schedule(self.interval, lambda: self._poll(agent))
+
+    def _poll(self, agent) -> None:
+        if self._stopped or not agent.alive:
+            return
+        self.polls += 1
+        try:
+            agent.fetch_delta()
+        except _AUTHORITY_ERRORS:
+            self.failed_polls += 1
+        self._schedule_next(agent)
+
+
+class OnlineStatusStrategy(PropagationStrategy):
+    """OCSP-style per-check status query: freshest answer, dearest cost.
+
+    Args:
+        cache_ttl: optional response cache (an OCSP responder's
+            ``nextUpdate`` analogue); 0 queries on every check.
+        fail_open: what an unreachable authority means.  False (default)
+            treats the artefact as revoked — fail-safe denial, matching
+            the PEP's deny-on-failure stance.
+    """
+
+    name = "online"
+
+    def __init__(self, cache_ttl: float = 0.0, fail_open: bool = False) -> None:
+        self.cache_ttl = cache_ttl
+        self.fail_open = fail_open
+        self.status_checks = 0
+        self.failed_checks = 0
+        self._cache: Optional[TtlCache] = None
+
+    def attach(self, agent) -> None:
+        self._cache = TtlCache(
+            ttl=self.cache_ttl, clock=lambda: agent.now, capacity=10_000
+        )
+
+    def check(self, agent, kind: RevocationKind, target: str) -> bool:
+        if agent.is_revoked_locally(kind, target):
+            return True
+        key = (kind.value, target)
+        if self._cache is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+        self.status_checks += 1
+        try:
+            revoked = agent.query_status(kind, target)
+        except _AUTHORITY_ERRORS:
+            self.failed_checks += 1
+            return not self.fail_open
+        if self._cache is not None:
+            self._cache.put(key, revoked)
+        return revoked
+
+
+class PushStrategy(PropagationStrategy):
+    """Bus-subscribed push invalidation: fastest propagation.
+
+    The agent subscribes to the invalidation bus; every published record
+    arrives as its own message and is applied on delivery.  Staleness is
+    one network propagation delay; cost is one message per revocation
+    per subscriber — and a *lost* push is never retransmitted, which is
+    why deployments pair push with a slow pull safety net.
+    """
+
+    name = "push"
+
+    def __init__(self, bus: InvalidationBus) -> None:
+        self.bus = bus
+
+    def attach(self, agent) -> None:
+        self.bus.subscribe(agent.name)
+        agent.on(INVALIDATION_KIND, agent.handle_invalidation)
+
+    def detach(self, agent) -> None:
+        self.bus.unsubscribe(agent.name)

@@ -9,7 +9,7 @@ experiments need.
 """
 
 from .clock import SimClock
-from .events import EventHandle, EventLoop
+from .events import EventHandle, EventLoop, TopicEvent
 from .failures import AvailabilityProbe, FailureEvent, FailureInjector
 from .message import Message, TRANSPORT_OVERHEAD_BYTES, payload_size
 from .metrics import LatencyStats, MetricsRegistry
@@ -38,6 +38,7 @@ __all__ = [
     "Network",
     "Node",
     "SimClock",
+    "TopicEvent",
     "TRANSPORT_OVERHEAD_BYTES",
     "payload_size",
 ]

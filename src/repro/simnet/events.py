@@ -13,7 +13,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from .clock import SimClock
 
@@ -24,6 +24,25 @@ class EventHandle:
 
     seq: int
     when: float
+
+
+@dataclass(frozen=True)
+class TopicEvent:
+    """One publication on a network topic (see :meth:`Network.publish`).
+
+    Topic routing is the substrate of the push-invalidation bus
+    (:mod:`repro.revocation.bus`): a publisher addresses a *topic* rather
+    than a node, and the network fans the payload out to every subscriber
+    over its individual link.  The network keeps a log of these events so
+    experiments can audit fan-out volume separately from unicast traffic.
+    """
+
+    topic: str
+    kind: str
+    publisher: str
+    published_at: float
+    subscriber_count: int
+    payload: Any = None
 
 
 @dataclass(order=True)

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Protocol
 
 from .clock import SimClock
-from .events import EventLoop
+from .events import EventLoop, TopicEvent
 from .message import Message
 from .metrics import MetricsRegistry
 
@@ -102,6 +102,8 @@ class Network:
         self._nodes: dict[str, Node] = {}
         self._links: dict[tuple[str, str], Link] = {}
         self.default_link = Link()
+        self._topics: dict[str, list[str]] = {}
+        self.topic_log: list[TopicEvent] = []
 
     @property
     def clock(self) -> SimClock:
@@ -164,6 +166,66 @@ class Network:
             link.up = True
         if symmetric:
             self.heal(dst, src, symmetric=False)
+
+    # -- topic routing -----------------------------------------------------
+
+    def subscribe(self, topic: str, address: str) -> None:
+        """Register ``address`` to receive publications on ``topic``."""
+        subscribers = self._topics.setdefault(topic, [])
+        if address not in subscribers:
+            subscribers.append(address)
+
+    def unsubscribe(self, topic: str, address: str) -> bool:
+        """Remove a subscription; returns True if it existed."""
+        subscribers = self._topics.get(topic, [])
+        if address in subscribers:
+            subscribers.remove(address)
+            return True
+        return False
+
+    def subscribers(self, topic: str) -> list[str]:
+        return list(self._topics.get(topic, ()))
+
+    def publish(
+        self,
+        sender: str,
+        topic: str,
+        kind: str,
+        payload: object = None,
+    ) -> int:
+        """Fan a payload out to every subscriber of ``topic``.
+
+        Each subscriber receives its own :class:`Message` subject to the
+        sender→subscriber link (latency, loss, partitions), so a pushed
+        invalidation pays N messages for N subscribers — exactly the
+        overhead experiment E15 charges against the push strategy.
+
+        Returns:
+            Number of messages transmitted (the sender never receives its
+            own publication).
+        """
+        recipients = [a for a in self._topics.get(topic, ()) if a != sender]
+        for address in recipients:
+            self.transmit(
+                Message(
+                    sender=sender,
+                    recipient=address,
+                    kind=kind,
+                    payload=payload,
+                    headers={"topic": topic},
+                )
+            )
+        self.topic_log.append(
+            TopicEvent(
+                topic=topic,
+                kind=kind,
+                publisher=sender,
+                published_at=self.now,
+                subscriber_count=len(recipients),
+                payload=payload,
+            )
+        )
+        return len(recipients)
 
     # -- transmission ------------------------------------------------------
 

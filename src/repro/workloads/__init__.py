@@ -10,7 +10,13 @@ from .generator import (
     generate_policy_corpus,
     request_stream,
 )
-from .scenarios import Scenario, enterprise_soa, grid_vo, healthcare_federation
+from .scenarios import (
+    Scenario,
+    enterprise_soa,
+    grid_vo,
+    healthcare_federation,
+    revocation_churn,
+)
 
 __all__ = [
     "ACTIONS",
@@ -25,4 +31,5 @@ __all__ = [
     "grid_vo",
     "healthcare_federation",
     "request_stream",
+    "revocation_churn",
 ]

@@ -13,11 +13,16 @@ from typing import Optional
 
 from ..capability.cas import CommunityAuthorizationService
 from ..capability.tokens import CapabilityVerifier
+from ..components.pep import PepConfig
 from ..domain.federation import build_federation
 from ..domain.trust import TrustKind
 from ..domain.virtual_org import VirtualOrganization
 from ..models.abac import AbacPolicyBuilder, AbacRuleBuilder
 from ..models.rbac import RbacModel
+from ..revocation.authority import RevocationAuthority
+from ..revocation.bus import InvalidationBus
+from ..revocation.coherence import CoherenceAgent
+from ..revocation.strategies import PushStrategy
 from ..simnet.network import Network
 from ..wss.keys import KeyStore
 from ..xacml import combining
@@ -296,4 +301,116 @@ def enterprise_soa(seed: int = 0) -> Scenario:
         keystore=keystore,
         vo=vo,
         notes={"rbac": rbac},
+    )
+
+
+def revocation_churn(
+    seed: int = 0,
+    member_count: int = 8,
+    decision_cache_ttl: float = 30.0,
+    strategy_factory=None,
+):
+    """Membership churn with unified revocation (experiment E15's setting).
+
+    A registrar domain admits analysts to a shared archive hosted by a
+    second domain; members leave over time and their access must stop
+    *before* caches age out.  The environment wires the full coherence
+    substrate: a signed :class:`RevocationRegistry` fronted by a
+    :class:`RevocationAuthority`, an :class:`InvalidationBus`, and a
+    :class:`CoherenceAgent` guarding the archive PEP (push strategy by
+    default; ``strategy_factory(bus)`` swaps it).
+
+    ``notes["revoke_member"]`` performs one authoritative revocation:
+    the registrar strips the member's role (PIP truth) *and* issues the
+    registry record that propagation strategies carry to the archive.
+    """
+    network = Network(seed=seed)
+    keystore = KeyStore(seed=seed)
+    vo, _ = build_federation(
+        "churn-vo", ["registrar", "archive"], network, keystore
+    )
+    registrar = vo.domain("registrar")
+    archive = vo.domain("archive")
+
+    resource = archive.expose_resource(
+        "shared-archive",
+        description="community data archive",
+        pep_config=PepConfig(decision_cache_ttl=decision_cache_ttl),
+    )
+    archive.pap.publish(
+        AbacPolicyBuilder(
+            "archive-policy", rule_combining=combining.RULE_FIRST_APPLICABLE
+        )
+        .for_resource("shared-archive")
+        .rule(
+            AbacRuleBuilder("analysts-read")
+            .permit()
+            .when_subject(SUBJECT_ROLE, "analyst")
+            .when_action("read")
+            .build()
+        )
+        .default_deny()
+        .build()
+    )
+    # The archive PDP resolves registrar-homed subjects via their PIP.
+    archive.pdp.pip_addresses.append(registrar.pip.name)
+
+    members = []
+    for index in range(member_count):
+        subject = registrar.new_subject(f"member-{index}", role=["analyst"])
+        vo.grant_membership(subject)
+        members.append(subject.subject_id)
+
+    authority_identity = registrar.component_identity("revocation.churn-vo")
+    bus = InvalidationBus(network)
+    authority = RevocationAuthority(
+        "revocation.churn-vo",
+        network,
+        domain="registrar",
+        identity=authority_identity,
+        bus=bus,
+    )
+    # One source of revocation truth: legacy revocation owners delegate
+    # to the authority's registry.
+    vo.trust.bind_revocation_registry(authority.registry)
+    for domain in (registrar, archive):
+        domain.ca.bind_revocation_registry(authority.registry)
+
+    strategy = (
+        strategy_factory(bus) if strategy_factory else PushStrategy(bus)
+    )
+    agent = CoherenceAgent(
+        "coherence.archive",
+        network,
+        authority.name,
+        strategy,
+        domain="archive",
+        identity=archive.component_identity("coherence.archive"),
+        # Pushed/pulled records must verify against the authority key —
+        # a forged bus publication must not deny members or flush caches.
+        authority_key=authority_identity.keypair.public,
+    )
+    agent.protect_pep(resource.pep)
+    agent.protect_pdp(archive.pdp)
+
+    def revoke_member(subject_id: str, reason: str = "membership ended"):
+        registrar.pip.store.set_subject_attribute(subject_id, SUBJECT_ROLE, [])
+        return authority.registry.revoke_subject_access(
+            subject_id, reason=reason
+        )
+
+    return Scenario(
+        name="revocation-churn",
+        network=network,
+        keystore=keystore,
+        vo=vo,
+        notes={
+            "authority": authority,
+            "bus": bus,
+            "coherence": agent,
+            "strategy": strategy,
+            "members": members,
+            "resource": resource.resource_id,
+            "revoke_member": revoke_member,
+        },
     )

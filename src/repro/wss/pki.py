@@ -70,7 +70,17 @@ class CertificateAuthority:
     chains, which :class:`TrustValidator` walks back to a configured anchor
     set — the concrete mechanism behind the paper's "established trust
     relationship" between PEPs and capability/credential services (Fig. 2).
+
+    Revocation state lives in the local serial set until the CA is bound
+    to a :class:`~repro.revocation.registry.RevocationRegistry`
+    (``bind_revocation_registry``); bound, every revoke/is-revoked/crl
+    operation delegates there, making the registry the single source of
+    revocation truth across the deployment.
     """
+
+    #: Class-level default so instances built via ``__new__`` (the VOMS
+    #: issuing authority) behave as unbound.
+    _revocation_registry = None
 
     def __init__(
         self,
@@ -147,15 +157,42 @@ class CertificateAuthority:
             extensions=extensions,
         )
 
+    def bind_revocation_registry(self, registry) -> None:
+        """Delegate revocation state to the unified registry.
+
+        Serials already revoked locally are migrated so no revocation is
+        lost at the handover.  The registry is duck-typed (it offers
+        ``revoke_certificate`` / ``certificate_revoked`` /
+        ``revoked_serials``) to keep this low layer free of upward
+        imports.
+        """
+        for serial in sorted(self._revoked):
+            registry.revoke_certificate(serial, reason=f"migrated from {self.name}")
+        self._revoked.clear()
+        self._revocation_registry = registry
+
     def revoke(self, certificate: Certificate) -> None:
         """Add a certificate to this CA's revocation list (CRL analogue)."""
+        if self._revocation_registry is not None:
+            self._revocation_registry.revoke_certificate(
+                certificate.serial,
+                reason=f"revoked by {self.name}",
+                subject_id=certificate.subject,
+            )
+            return
         self._revoked.add(certificate.serial)
 
     def is_revoked(self, certificate: Certificate) -> bool:
+        if self._revocation_registry is not None:
+            return self._revocation_registry.certificate_revoked(
+                certificate.serial
+            )
         return certificate.serial in self._revoked
 
     def crl(self) -> frozenset[int]:
         """Current revocation list snapshot."""
+        if self._revocation_registry is not None:
+            return self._revocation_registry.revoked_serials()
         return frozenset(self._revoked)
 
 

@@ -1,0 +1,153 @@
+"""Tests for the revocation authority RPC surface and the invalidation bus."""
+
+import pytest
+
+from repro.components import Component, RpcFault
+from repro.revocation import (
+    CRL_ACTION,
+    INVALIDATION_KIND,
+    InvalidationBus,
+    RevocationAuthority,
+    RevocationKind,
+    RevocationRecord,
+    STATUS_ACTION,
+    crl_request,
+    parse_records,
+    parse_status,
+    status_request,
+)
+from repro.simnet import Network
+
+
+@pytest.fixture
+def env():
+    network = Network(seed=7)
+    authority = RevocationAuthority("authority", network)
+    client = Component("client", network)
+    return network, authority, client
+
+
+class TestStatusQueries:
+    def test_status_of_unrevoked_target(self, env):
+        network, authority, client = env
+        reply = client.call(
+            "authority",
+            STATUS_ACTION,
+            status_request(RevocationKind.CERTIFICATE, "serial:9"),
+        )
+        revoked, epoch = parse_status(str(reply.payload))
+        assert revoked is False
+        assert epoch == 0
+
+    def test_status_of_revoked_target(self, env):
+        network, authority, client = env
+        authority.revoke(RevocationKind.CERTIFICATE, "serial:9")
+        reply = client.call(
+            "authority",
+            STATUS_ACTION,
+            status_request(RevocationKind.CERTIFICATE, "serial:9"),
+        )
+        revoked, epoch = parse_status(str(reply.payload))
+        assert revoked is True
+        assert epoch == 1
+        assert authority.status_queries == 1
+
+    def test_status_round_trips_hostile_targets(self, env):
+        network, authority, client = env
+        target = 'subject:ali"ce&<boss>'
+        authority.revoke(RevocationKind.ENTITLEMENT, target)
+        reply = client.call(
+            "authority",
+            STATUS_ACTION,
+            status_request(RevocationKind.ENTITLEMENT, target),
+        )
+        revoked, _ = parse_status(str(reply.payload))
+        assert revoked is True
+
+    def test_malformed_status_request_faults(self, env):
+        network, authority, client = env
+        with pytest.raises(RpcFault, match="bad-request"):
+            client.call("authority", STATUS_ACTION, "<Garbage/>")
+
+    def test_unknown_kind_faults(self, env):
+        network, authority, client = env
+        with pytest.raises(RpcFault, match="bad-kind"):
+            client.call(
+                "authority",
+                STATUS_ACTION,
+                '<StatusRequest kind="frobnication" target="x"/>',
+            )
+
+
+class TestCrlPull:
+    def test_full_and_delta_crl(self, env):
+        network, authority, client = env
+        for serial in (1, 2, 3):
+            authority.revoke(RevocationKind.CERTIFICATE, f"serial:{serial}")
+        reply = client.call("authority", CRL_ACTION, crl_request(0))
+        records, epoch = parse_records(str(reply.payload))
+        assert len(records) == 3
+        assert epoch == 3
+        reply = client.call("authority", CRL_ACTION, crl_request(2))
+        delta, _ = parse_records(str(reply.payload))
+        assert [record.epoch for record in delta] == [3]
+        assert authority.crl_requests == 2
+
+    def test_crl_requests_are_counted_in_message_metrics(self, env):
+        network, authority, client = env
+        client.call("authority", CRL_ACTION, crl_request(0))
+        assert network.metrics.sent_by_kind[CRL_ACTION] == 1
+        assert network.metrics.sent_by_kind[f"{CRL_ACTION}:response"] == 1
+
+
+class TestBusPush:
+    def test_revocation_is_pushed_to_subscribers(self):
+        network = Network(seed=8)
+        bus = InvalidationBus(network)
+        authority = RevocationAuthority("authority", network, bus=bus)
+        received = []
+        subscriber = Component("relying-party", network)
+        subscriber.on(
+            INVALIDATION_KIND,
+            lambda message: received.append(
+                RevocationRecord.from_xml(str(message.payload))
+            ),
+        )
+        bus.subscribe("relying-party")
+        record = authority.revoke(
+            RevocationKind.CAPABILITY, "assertion:saml-1", subject_id="alice"
+        )
+        network.run()
+        assert received == [record]
+        assert authority.invalidations_pushed == 1
+        assert bus.publications == 1
+
+    def test_crashed_authority_pushes_nothing(self):
+        network = Network(seed=8)
+        bus = InvalidationBus(network)
+        authority = RevocationAuthority("authority", network, bus=bus)
+        bus.subscribe("nobody-home")
+        authority.crash()
+        authority.registry.revoke(RevocationKind.CERTIFICATE, "serial:1")
+        assert authority.invalidations_pushed == 0
+
+    def test_identity_signs_registry_records(self):
+        from repro.wss import KeyStore
+        from repro.wss.pki import CertificateAuthority, TrustValidator
+        from repro.components import ComponentIdentity
+
+        network = Network(seed=9)
+        keystore = KeyStore(seed=9)
+        ca = CertificateAuthority("ca", keystore)
+        keypair = keystore.generate(label="authority")
+        identity = ComponentIdentity(
+            name="authority",
+            keypair=keypair,
+            certificate=ca.issue("authority", keypair.public, 0.0, 1000.0),
+            keystore=keystore,
+            validator=TrustValidator(keystore, anchors=[ca]),
+        )
+        authority = RevocationAuthority("authority", network, identity=identity)
+        record = authority.revoke(RevocationKind.CERTIFICATE, "serial:5")
+        assert record.signature
+        assert authority.registry.verify(record, keystore)

@@ -12,6 +12,7 @@ from repro.workloads import (
     grid_vo,
     healthcare_federation,
     request_stream,
+    revocation_churn,
 )
 from repro.wss import KeyStore
 from repro.xacml import Decision
@@ -133,4 +134,45 @@ class TestScenarios:
         assert invoice_pep.authorize_simple("bill", "invoice-service", "read").granted
         assert not invoice_pep.authorize_simple(
             "lars", "invoice-service", "read"
+        ).granted
+
+    def test_revocation_churn_builds_and_propagates(self):
+        scenario = revocation_churn(seed=1, member_count=3)
+        archive = scenario.vo.domain("archive")
+        pep = archive.peps["shared-archive"]
+        member = scenario.notes["members"][0]
+        assert pep.authorize_simple(member, "shared-archive", "read").granted
+        record = scenario.notes["revoke_member"](member)
+        assert record.signature  # the registry signs with the authority key
+        scenario.network.run(until=scenario.network.now + 1.0)
+        assert not pep.authorize_simple(
+            member, "shared-archive", "read"
+        ).granted
+        other = scenario.notes["members"][1]
+        assert pep.authorize_simple(other, "shared-archive", "read").granted
+
+    def test_revocation_churn_legacy_sites_bound(self):
+        scenario = revocation_churn(seed=1, member_count=2)
+        registry = scenario.notes["authority"].registry
+        vo = scenario.vo
+        # Trust-edge revocation flows into the unified registry.
+        from repro.domain import TrustKind
+
+        assert vo.trust.revoke("registrar", "archive", TrustKind.IDENTITY)
+        assert registry.trust_edge_revoked("registrar", "archive", "identity")
+
+    def test_revocation_churn_strategy_is_pluggable(self):
+        from repro.revocation import PullStrategy
+
+        scenario = revocation_churn(
+            seed=1,
+            member_count=2,
+            strategy_factory=lambda bus: PullStrategy(interval=2.0),
+        )
+        member = scenario.notes["members"][0]
+        pep = scenario.vo.domain("archive").peps["shared-archive"]
+        scenario.notes["revoke_member"](member)
+        scenario.network.run(until=scenario.network.now + 3.0)
+        assert not pep.authorize_simple(
+            member, "shared-archive", "read"
         ).granted
