@@ -34,6 +34,12 @@ from .context_handler import (
     from_soap_call,
     with_environment_time,
 )
+from .fabric import (
+    CoalescingDecisionQueue,
+    DISPATCH_POLICIES,
+    DecisionDispatcher,
+    QUEUE_LATENCY_SERIES,
+)
 from .pap import (
     PolicyAdministrationPoint,
     PolicyRepository,
@@ -42,9 +48,11 @@ from .pap import (
     serialize_bundle,
 )
 from .pdp import (
+    BATCH_QUERY_ACTION,
     PdpConfig,
     PolicyDecisionPoint,
     QUERY_ACTION,
+    SECURE_BATCH_QUERY_ACTION,
     SECURE_QUERY_ACTION,
 )
 from .pep import (
@@ -66,7 +74,13 @@ from .pip import (
 __all__ = [
     "AUDIT_OBLIGATION",
     "AttributeStore",
+    "BATCH_QUERY_ACTION",
     "CacheStats",
+    "CoalescingDecisionQueue",
+    "DISPATCH_POLICIES",
+    "DecisionDispatcher",
+    "QUEUE_LATENCY_SERIES",
+    "SECURE_BATCH_QUERY_ACTION",
     "ENCRYPT_RESPONSE_OBLIGATION",
     "NOTIFY_OBLIGATION",
     "ObligationAuditTrail",

@@ -1,0 +1,428 @@
+"""The batched decision fabric: coalescing queue and replica dispatcher.
+
+Client-side plumbing that turns the one-query-per-message PEP→PDP hot
+path into a batched, load-balanced pipeline:
+
+* :class:`DecisionDispatcher` — routes decision traffic across a set of
+  PDP replicas (round-robin or least-outstanding) and fails over to the
+  next replica on :class:`~repro.components.base.RpcTimeout`, which
+  makes E11-style replication an actual *throughput* mechanism rather
+  than only an availability one;
+* :class:`CoalescingDecisionQueue` — accumulates a PEP's outbound
+  decision requests and flushes them as one
+  :class:`~repro.saml.xacml_profile.XacmlAuthzDecisionBatchQuery` when
+  the batch fills (``max_batch``) or ages out (``max_delay``), with
+  in-flight deduplication: identical concurrent requests ride one wire
+  slot and every waiter gets its own enforcement result.
+
+The queue is fully event-driven: flushes *send* a message and return,
+and replies/timeouts are handled as ordinary inbound events, so a
+completion callback may safely submit the next request (the closed-loop
+pattern of :mod:`repro.workloads.highload`) without growing the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..simnet.events import EventHandle
+from ..simnet.message import Message
+from ..xacml.context import RequestContext
+from .base import RpcFault, RpcTimeout, _parse_fault
+from .pdp import BATCH_QUERY_ACTION, SECURE_BATCH_QUERY_ACTION
+
+#: Metrics sample series fed with per-request submit→completion delays.
+QUEUE_LATENCY_SERIES = "fabric.queue_latency"
+
+#: Load-balancing policies the dispatcher understands.
+DISPATCH_POLICIES = ("round-robin", "least-outstanding")
+
+
+class DecisionDispatcher:
+    """Load-balances decision queries over PDP replicas, with failover.
+
+    The dispatcher is transport-neutral bookkeeping plus two entry
+    points: :meth:`dispatch` performs a synchronous RPC with failover
+    for the blocking PEP paths, while the coalescing queue drives
+    :meth:`select` / :meth:`note_sent` / :meth:`note_done` itself for
+    the event-driven path.  ``least-outstanding`` counts in-flight
+    envelopes per replica, which only differs from round-robin once
+    replies actually take time — i.e. under the PDP service-time model.
+    """
+
+    def __init__(
+        self, replica_addresses: Sequence[str], policy: str = "round-robin"
+    ) -> None:
+        if not replica_addresses:
+            raise ValueError("dispatcher needs at least one PDP replica")
+        if policy not in DISPATCH_POLICIES:
+            raise ValueError(
+                f"unknown dispatch policy {policy!r}; "
+                f"expected one of {DISPATCH_POLICIES}"
+            )
+        self.replicas = list(replica_addresses)
+        self.policy = policy
+        self.outstanding: dict[str, int] = {
+            address: 0 for address in self.replicas
+        }
+        self.dispatches = 0
+        self.failovers = 0
+        self._rr = 0
+
+    def select(self, exclude: Sequence[str] = ()) -> Optional[str]:
+        """Pick the next replica, or None when every candidate is excluded."""
+        candidates = [r for r in self.replicas if r not in exclude]
+        if not candidates:
+            return None
+        if self.policy == "least-outstanding":
+            lowest = min(self.outstanding[r] for r in candidates)
+            candidates = [
+                r for r in candidates if self.outstanding[r] == lowest
+            ]
+        # Rotate through ties (and through everything under round-robin):
+        # on the synchronous path outstanding counts are back to zero by
+        # the next select, so without rotation least-outstanding would
+        # pin every request to the first replica.
+        while True:  # candidates is a non-empty subset of the ring
+            choice = self.replicas[self._rr % len(self.replicas)]
+            self._rr += 1
+            if choice in candidates:
+                return choice
+
+    def note_sent(self, address: str) -> None:
+        self.outstanding[address] += 1
+
+    def note_done(self, address: str) -> None:
+        self.outstanding[address] = max(0, self.outstanding[address] - 1)
+
+    def dispatch(
+        self, caller, action: str, payload, timeout: float
+    ) -> tuple[Message, str]:
+        """Synchronous RPC through the next replica; failover on timeout.
+
+        Faults are *answers* (an authentication rejection must not be
+        retried against a sibling), so only :class:`RpcTimeout` rotates
+        to the next replica.  Raises the last timeout when every replica
+        has been tried.
+
+        Returns:
+            ``(reply, address)`` — the reply message and which replica
+            produced it (secure callers pin signature checks to it).
+        """
+        self.dispatches += 1
+        tried: list[str] = []
+        last_timeout: Optional[RpcTimeout] = None
+        while True:
+            address = self.select(exclude=tried)
+            if address is None:
+                if last_timeout is not None:
+                    raise last_timeout
+                raise RpcTimeout(caller.name, "<none>", action, caller.now)
+            tried.append(address)
+            self.note_sent(address)
+            try:
+                reply = caller.call(address, action, payload, timeout=timeout)
+            except RpcTimeout as exc:
+                last_timeout = exc
+                self.failovers += 1
+                continue
+            finally:
+                self.note_done(address)
+            return reply, address
+
+    def selector(self) -> Callable[[], Optional[str]]:
+        """Adapter usable as a PEP's ``pdp_selector`` hook."""
+        return lambda: self.select()
+
+    def __repr__(self) -> str:
+        return (
+            f"DecisionDispatcher({self.policy}, replicas={len(self.replicas)}, "
+            f"outstanding={sum(self.outstanding.values())})"
+        )
+
+
+#: Completion callback: receives the waiter's EnforcementResult.
+CompletionCallback = Callable[[object], None]
+
+
+@dataclass
+class _PendingDecision:
+    """One unique request awaiting batching, with all its waiters."""
+
+    request: RequestContext
+    key: tuple
+    enqueued_at: float
+    callbacks: list[CompletionCallback] = field(default_factory=list)
+
+
+@dataclass
+class _InflightBatch:
+    """One batch query on the wire, awaiting its reply or deadline."""
+
+    batch: object  # XacmlAuthzDecisionBatchQuery
+    entries: list[_PendingDecision]
+    replica: str
+    tried: list[str]
+    sent_at: float
+
+
+class CoalescingDecisionQueue:
+    """Client-side request coalescing in front of a PEP's PDP traffic.
+
+    Args:
+        pep: the owning :class:`~repro.components.pep.
+            PolicyEnforcementPoint`; its revocation guard, decision
+            cache, obligation handlers and counters all apply exactly as
+            on the synchronous path.
+        max_batch: flush as soon as this many *unique* requests wait.
+        max_delay: flush this many simulated seconds after the first
+            request entered an empty queue (latency bound).
+        dispatcher: optional replica dispatcher; without one every batch
+            goes to the PEP's configured/selected PDP and a timeout is a
+            fail-safe denial rather than a failover.
+    """
+
+    def __init__(
+        self,
+        pep,
+        max_batch: int = 16,
+        max_delay: float = 0.002,
+        dispatcher: Optional[DecisionDispatcher] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.pep = pep
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.dispatcher = dispatcher
+        self._pending: dict[tuple, _PendingDecision] = {}
+        self._inflight: dict[int, _InflightBatch] = {}
+        #: cache_key -> entry for every request currently on the wire,
+        #: so in-flight dedup is O(1) rather than a scan per submission.
+        self._inflight_keys: dict[tuple, _PendingDecision] = {}
+        self._flush_handle: Optional[EventHandle] = None
+        self.submissions = 0
+        self.deduplicated = 0
+        self.batches_sent = 0
+        self.flushes_on_size = 0
+        self.flushes_on_delay = 0
+        self.failovers = 0
+        self.completions = 0
+        for action in (BATCH_QUERY_ACTION, SECURE_BATCH_QUERY_ACTION):
+            pep.on(f"{action}:response", self._handle_reply)
+            pep.on(f"{action}:fault", self._handle_fault)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(
+        self, request: RequestContext, callback: CompletionCallback
+    ) -> bool:
+        """Enqueue one enforcement; ``callback`` receives the result.
+
+        Returns True when the request completed synchronously (revocation
+        guard denial or decision-cache hit) and False when it was queued
+        for a batched PDP round-trip.  Identical requests already queued
+        or in flight are deduplicated: the new waiter joins the existing
+        wire slot.
+        """
+        self.submissions += 1
+        self.pep.enforcements += 1
+        key = request.cache_key()
+        immediate = self.pep._pre_decision(request, key)
+        if immediate is not None:
+            self.completions += 1
+            callback(immediate)
+            return True
+        entry = self._pending.get(key) or self._inflight_keys.get(key)
+        if entry is not None:
+            self.deduplicated += 1
+            entry.callbacks.append(callback)
+            return False
+        entry = _PendingDecision(
+            request=request,
+            key=key,
+            enqueued_at=self.pep.now,
+            callbacks=[callback],
+        )
+        self._pending[key] = entry
+        if len(self._pending) >= self.max_batch:
+            self.flushes_on_size += 1
+            self.flush()
+        elif self._flush_handle is None:
+            self._flush_handle = self.pep.network.loop.schedule(
+                self.max_delay, self._flush_on_delay, label="fabric-flush"
+            )
+        return False
+
+    def _flush_on_delay(self) -> None:
+        self._flush_handle = None
+        if self._pending:
+            self.flushes_on_delay += 1
+            self.flush()
+
+    def flush(self) -> None:
+        """Send everything pending as one batch query immediately."""
+        if self._flush_handle is not None:
+            self.pep.network.loop.cancel(self._flush_handle)
+            self._flush_handle = None
+        if not self._pending:
+            return
+        entries = list(self._pending.values())
+        self._pending.clear()
+        self._send(entries, tried=[])
+
+    # -- the wire ----------------------------------------------------------------
+
+    def _send(self, entries: list[_PendingDecision], tried: list[str]) -> None:
+        if self.dispatcher is not None:
+            replica = self.dispatcher.select(exclude=tried)
+        elif tried:
+            replica = None  # no dispatcher: a timeout has nowhere to go
+        else:
+            replica = self.pep._choose_pdp()
+        if replica is None:
+            self._fail_batch(
+                entries,
+                RpcTimeout(
+                    self.pep.name, "<none>", "no PDP reachable", self.pep.now
+                ),
+            )
+            return
+        action, payload, batch = self.pep._build_batch_query(
+            [entry.request for entry in entries]
+        )
+        message = Message(
+            sender=self.pep.name, recipient=replica, kind=action, payload=payload
+        )
+        self._inflight[message.msg_id] = _InflightBatch(
+            batch=batch,
+            entries=entries,
+            replica=replica,
+            tried=tried + [replica],
+            sent_at=self.pep.now,
+        )
+        for entry in entries:  # idempotent across failover resends
+            self._inflight_keys[entry.key] = entry
+        if self.dispatcher is not None:
+            self.dispatcher.note_sent(replica)
+        self.batches_sent += 1
+        self.pep.node.send(message)
+        self.pep.network.loop.schedule(
+            self.pep.config.pdp_timeout,
+            lambda: self._check_timeout(message.msg_id),
+            label="fabric-timeout",
+        )
+
+    def _take_inflight(self, reply_to: Optional[int]) -> Optional[_InflightBatch]:
+        if reply_to is None:
+            return None
+        inflight = self._inflight.pop(reply_to, None)
+        if inflight is not None and self.dispatcher is not None:
+            self.dispatcher.note_done(inflight.replica)
+        return inflight
+
+    def _check_timeout(self, msg_id: int) -> None:
+        inflight = self._take_inflight(msg_id)
+        if inflight is None:
+            return  # answered in time (or already failed over)
+        if self.dispatcher is not None:
+            self.failovers += 1
+            self.dispatcher.failovers += 1
+            self._send(inflight.entries, tried=inflight.tried)
+            return
+        self._fail_batch(
+            inflight.entries,
+            RpcTimeout(
+                self.pep.name,
+                inflight.replica,
+                "batch decision query",
+                self.pep.now,
+            ),
+        )
+
+    def _handle_reply(self, message: Message) -> None:
+        inflight = self._take_inflight(message.reply_to)
+        if inflight is None:
+            return None  # late reply after a timeout-triggered failover
+        try:
+            statement_batch = self.pep._parse_batch_reply(
+                message, inflight.replica
+            )
+            if statement_batch.in_response_to != inflight.batch.batch_id:
+                raise ValueError(
+                    f"reply answers {statement_batch.in_response_to!r}, "
+                    f"expected {inflight.batch.batch_id!r}"
+                )
+            if len(statement_batch.statements) != len(inflight.entries):
+                raise ValueError(
+                    f"reply has {len(statement_batch.statements)} statements "
+                    f"for {len(inflight.entries)} requests"
+                )
+        except Exception as exc:  # malformed/forged reply: fail safe
+            self._fail_batch(inflight.entries, exc)
+            return None
+        metrics = self.pep.network.metrics
+        for entry, statement in zip(inflight.entries, statement_batch.statements):
+            self._inflight_keys.pop(entry.key, None)
+            self.pep.decision_cache.put(entry.key, statement)
+            metrics.record_sample(
+                QUEUE_LATENCY_SERIES, self.pep.now - entry.enqueued_at
+            )
+            for callback in entry.callbacks:
+                result = self.pep._enforce(
+                    statement.response.decision,
+                    tuple(statement.response.result.obligations),
+                    entry.request,
+                    source="pdp",
+                )
+                self.completions += 1
+                callback(result)
+        return None
+
+    def _handle_fault(self, message: Message) -> None:
+        inflight = self._take_inflight(message.reply_to)
+        if inflight is None:
+            return None
+        code, reason = _parse_fault(str(message.payload))
+        # A fault is an answer, not a crash: no failover, fail-safe deny.
+        self._fail_batch(inflight.entries, RpcFault(code, reason))
+        return None
+
+    def _fail_batch(
+        self, entries: list[_PendingDecision], exc: Exception
+    ) -> None:
+        """Fail-safe denial for every waiter of every entry.
+
+        The event-driven queue has no caller to re-raise into, so it
+        always enforces the deny-on-failure stance regardless of
+        ``PepConfig.deny_on_failure`` — the fail-open variant only
+        exists on the synchronous path.
+        """
+        metrics = self.pep.network.metrics
+        for entry in entries:
+            self._inflight_keys.pop(entry.key, None)
+            metrics.record_sample(
+                QUEUE_LATENCY_SERIES, self.pep.now - entry.enqueued_at
+            )
+            for callback in entry.callbacks:
+                result = self.pep._fail_safe_result(exc)
+                self.completions += 1
+                callback(result)
+
+    def __repr__(self) -> str:
+        return (
+            f"CoalescingDecisionQueue(pep={self.pep.name}, "
+            f"max_batch={self.max_batch}, pending={len(self._pending)}, "
+            f"inflight={len(self._inflight)})"
+        )

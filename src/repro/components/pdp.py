@@ -23,7 +23,12 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from ..simnet.message import Message
-from ..saml.xacml_profile import XacmlAuthzDecisionQuery, XacmlAuthzDecisionStatement
+from ..saml.xacml_profile import (
+    XacmlAuthzDecisionBatchQuery,
+    XacmlAuthzDecisionBatchStatement,
+    XacmlAuthzDecisionQuery,
+    XacmlAuthzDecisionStatement,
+)
 from ..simnet.network import Network
 from ..wsvc.soap import SoapEnvelope
 from ..wsvc.ws_security import (
@@ -42,6 +47,8 @@ from .pip import parse_pip_response, serialize_pip_query
 
 QUERY_ACTION = "xacml.request"
 SECURE_QUERY_ACTION = "xacml.request.secure"
+BATCH_QUERY_ACTION = "xacml.request.batch"
+SECURE_BATCH_QUERY_ACTION = "xacml.request.batch.secure"
 
 
 @dataclass
@@ -59,6 +66,16 @@ class PdpConfig:
     #: Sign responses when an identity is configured.
     sign_responses: bool = True
     indexed_store: bool = True
+    #: Service-time model (simulated seconds), both 0 by default so the
+    #: PDP answers instantly like the seed.  ``envelope_overhead`` is
+    #: paid once per inbound query message (parse + WS-Security work);
+    #: ``decision_service_time`` once per request context evaluated.
+    #: With either non-zero the PDP becomes a FIFO single server:
+    #: replies queue behind earlier work, which is what makes batching
+    #: (fewer envelopes) and replication (more servers) measurable as
+    #: throughput, not just message counts (experiment E16).
+    envelope_overhead: float = 0.0
+    decision_service_time: float = 0.0
 
 
 class PolicyDecisionPoint(Component):
@@ -86,8 +103,13 @@ class PolicyDecisionPoint(Component):
         self.policy_fetches = 0
         self.revision_probes = 0
         self.rejected_queries = 0
+        self.batch_queries_served = 0
+        self.batched_decisions = 0
+        self._busy_until = 0.0
         self.on(QUERY_ACTION, self._handle_query)
         self.on(SECURE_QUERY_ACTION, self._handle_secure_query)
+        self.on(BATCH_QUERY_ACTION, self._handle_batch_query)
+        self.on(SECURE_BATCH_QUERY_ACTION, self._handle_secure_batch_query)
 
     # -- policy management ------------------------------------------------------
 
@@ -180,9 +202,57 @@ class PolicyDecisionPoint(Component):
         self.decisions_made += 1
         return self.engine.evaluate(request, current_time=self.now)
 
+    def evaluate_batch(self, requests: list[RequestContext]) -> list[EngineResponse]:
+        """Evaluate N requests with one policy refresh and one store snapshot.
+
+        The whole point of the batched decision fabric at this layer:
+        :meth:`_ensure_policies` (with its potential PAP round-trip) runs
+        once per batch instead of once per request, and the engine shares
+        target-index lookups across identical request triples.
+        """
+        self._ensure_policies()
+        self.decisions_made += len(requests)
+        self.batch_queries_served += 1
+        self.batched_decisions += len(requests)
+        return self.engine.evaluate_batch(
+            requests,
+            current_time=self.now,
+            finder_for=self._attribute_finder_for,
+        )
+
+    # -- service-time model -------------------------------------------------------------
+
+    def _reply_after_service(self, message: Message, payload, decisions: int):
+        """Return the reply now, or queue it behind this PDP's busy time.
+
+        With the service-time model disabled (the default) the payload is
+        returned and the base class replies immediately — seed behaviour.
+        Otherwise the PDP is a FIFO single server: the reply is scheduled
+        for when the accumulated busy period ends, so concurrent load
+        exhibits real queueing delay (measured by experiment E16).
+        """
+        cost = (
+            self.config.envelope_overhead
+            + decisions * self.config.decision_service_time
+        )
+        if cost <= 0:
+            return payload
+        start = max(self._busy_until, self.now)
+        self._busy_until = start + cost
+        reply = message.reply(kind=f"{message.kind}:response", payload=payload)
+
+        def send_reply() -> None:
+            if self.alive:
+                self.node.send(reply)
+
+        self.network.loop.schedule(
+            self._busy_until - self.now, send_reply, label="pdp-service"
+        )
+        return None
+
     # -- message handlers ---------------------------------------------------------------
 
-    def _handle_query(self, message: Message) -> str:
+    def _handle_query(self, message: Message):
         if self.config.require_signed_queries:
             self.rejected_queries += 1
             raise RpcFault(
@@ -198,16 +268,52 @@ class PolicyDecisionPoint(Component):
             issue_instant=self.now,
             request_echo=query.request if query.return_context else None,
         )
-        return statement.to_xml()
+        return self._reply_after_service(message, statement.to_xml(), decisions=1)
 
-    def _handle_secure_query(self, message: Message) -> SoapEnvelope:
+    def _handle_batch_query(self, message: Message):
+        if self.config.require_signed_queries:
+            self.rejected_queries += 1
+            raise RpcFault(
+                "pdp:authentication-required",
+                "this PDP only answers signed queries",
+            )
+        batch = XacmlAuthzDecisionBatchQuery.from_xml(str(message.payload))
+        reply = self._answer_batch(batch)
+        return self._reply_after_service(
+            message, reply.to_xml(), decisions=len(batch.queries)
+        )
+
+    def _answer_batch(
+        self, batch: XacmlAuthzDecisionBatchQuery
+    ) -> XacmlAuthzDecisionBatchStatement:
+        requests = [query.request for query in batch.queries]
+        engine_responses = self.evaluate_batch(requests)
+        statements = tuple(
+            XacmlAuthzDecisionStatement(
+                response=engine_response.response,
+                in_response_to=query.query_id,
+                issuer=self.name,
+                issue_instant=self.now,
+                request_echo=query.request if query.return_context else None,
+            )
+            for query, engine_response in zip(batch.queries, engine_responses)
+        )
+        return XacmlAuthzDecisionBatchStatement(
+            statements=statements,
+            in_response_to=batch.batch_id,
+            issuer=self.name,
+            issue_instant=self.now,
+        )
+
+    def _verify_secure_query(self, message: Message):
+        """Shared front half of the secure endpoints: verify, or fault."""
         envelope = message.payload
         if not isinstance(envelope, SoapEnvelope):
             raise RpcFault("pdp:bad-request", "expected a SOAP envelope")
         if self.identity is None:
             raise RpcFault("pdp:misconfigured", "secure endpoint without identity")
         try:
-            clear = verify_envelope(
+            return verify_envelope(
                 envelope,
                 self.identity.keystore,
                 self.identity.validator,
@@ -218,6 +324,20 @@ class PolicyDecisionPoint(Component):
         except WsSecurityError as exc:
             self.rejected_queries += 1
             raise RpcFault("pdp:authentication-failed", str(exc)) from exc
+
+    def _sign_reply(self, action: str, body_xml: str) -> SoapEnvelope:
+        reply = SoapEnvelope(action=action, body_xml=body_xml)
+        if self.config.sign_responses:
+            reply = secure_envelope(
+                reply,
+                self.identity.keypair,
+                self.identity.certificate,
+                self.identity.keystore,
+            )
+        return reply
+
+    def _handle_secure_query(self, message: Message):
+        clear = self._verify_secure_query(message)
         query = XacmlAuthzDecisionQuery.from_xml(clear.body_xml)
         engine_response = self.evaluate(query.request)
         statement = XacmlAuthzDecisionStatement(
@@ -227,14 +347,25 @@ class PolicyDecisionPoint(Component):
             issue_instant=self.now,
             request_echo=query.request if query.return_context else None,
         )
-        reply = SoapEnvelope(
-            action=f"{SECURE_QUERY_ACTION}:result", body_xml=statement.to_xml()
+        reply = self._sign_reply(
+            f"{SECURE_QUERY_ACTION}:result", statement.to_xml()
         )
-        if self.config.sign_responses:
-            reply = secure_envelope(
-                reply,
-                self.identity.keypair,
-                self.identity.certificate,
-                self.identity.keystore,
-            )
-        return reply
+        return self._reply_after_service(message, reply, decisions=1)
+
+    def _handle_secure_batch_query(self, message: Message):
+        """One signature verified, one signed for the whole batch.
+
+        This is the fabric's amortisation on the authenticated channel:
+        the WS-Security processing (and the simulated envelope overhead)
+        is per envelope, so N requests cost one verify + one sign instead
+        of N of each.
+        """
+        clear = self._verify_secure_query(message)
+        batch = XacmlAuthzDecisionBatchQuery.from_xml(clear.body_xml)
+        answer = self._answer_batch(batch)
+        reply = self._sign_reply(
+            f"{SECURE_BATCH_QUERY_ACTION}:result", answer.to_xml()
+        )
+        return self._reply_after_service(
+            message, reply, decisions=len(batch.queries)
+        )

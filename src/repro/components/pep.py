@@ -24,7 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..saml.xacml_profile import XacmlAuthzDecisionQuery, XacmlAuthzDecisionStatement
+from ..saml.xacml_profile import (
+    XacmlAuthzDecisionBatchQuery,
+    XacmlAuthzDecisionBatchStatement,
+    XacmlAuthzDecisionQuery,
+    XacmlAuthzDecisionStatement,
+)
+from ..simnet.message import Message
 from ..simnet.network import Network
 from ..xacml.attributes import Category, RESOURCE_ID, SUBJECT_ID
 from ..wsvc.soap import SoapEnvelope
@@ -44,7 +50,13 @@ from ..xacml.context import (
 )
 from .base import Component, ComponentIdentity, RpcFault, RpcTimeout
 from .cache import TtlCache
-from .pdp import QUERY_ACTION, SECURE_QUERY_ACTION
+from .fabric import CoalescingDecisionQueue, DecisionDispatcher
+from .pdp import (
+    BATCH_QUERY_ACTION,
+    QUERY_ACTION,
+    SECURE_BATCH_QUERY_ACTION,
+    SECURE_QUERY_ACTION,
+)
 
 #: Obligation handler: receives the obligation and the request, performs
 #: the action, returns True when fulfilled.
@@ -104,6 +116,12 @@ class PolicyEnforcementPoint(Component):
         self.pdp_address = pdp_address
         #: Dynamic PDP selection hook (discovery, replication router).
         self.pdp_selector = pdp_selector
+        #: Replica load-balancer with failover; set directly or via
+        #: :meth:`enable_batching`.  When present it owns PDP selection
+        #: for every query path (single, batch, coalesced).
+        self.dispatcher: Optional[DecisionDispatcher] = None
+        #: Client-side coalescing queue (see :meth:`enable_batching`).
+        self.coalescer: Optional[CoalescingDecisionQueue] = None
         self.decision_cache: TtlCache = TtlCache(
             ttl=self.config.decision_cache_ttl,
             clock=lambda: self.now,
@@ -143,60 +161,163 @@ class PolicyEnforcementPoint(Component):
     # -- the decision query (pull model) ----------------------------------------------
 
     def _choose_pdp(self) -> Optional[str]:
+        if self.dispatcher is not None:
+            chosen = self.dispatcher.select()
+            if chosen is not None:
+                return chosen
         if self.pdp_selector is not None:
             chosen = self.pdp_selector()
             if chosen is not None:
                 return chosen
         return self.pdp_address
 
-    def _query_pdp(self, request: RequestContext) -> XacmlAuthzDecisionStatement:
+    def _secure_payload(self, action: str, body_xml: str) -> SoapEnvelope:
+        if self.identity is None:
+            raise ValueError(f"PEP {self.name} has no identity for secure mode")
+        envelope = SoapEnvelope(action=action, body_xml=body_xml)
+        return secure_envelope(
+            envelope,
+            self.identity.keypair,
+            self.identity.certificate,
+            self.identity.keystore,
+        )
+
+    def _verify_reply_body(self, reply: Message, pdp: str) -> str:
+        """Verify a secure reply envelope came from ``pdp``; return its body."""
+        reply_envelope = reply.payload
+        if not isinstance(reply_envelope, SoapEnvelope):
+            raise RpcFault("pep:bad-reply", "PDP returned non-SOAP payload")
+        clear = verify_envelope(
+            reply_envelope,
+            self.identity.keystore,
+            self.identity.validator,
+            decrypt_with=self.identity.keypair,
+            config=SecurityConfig(require_signature=True),
+            at=self.now,
+        )
+        if signer_of(clear) != pdp:
+            raise WsSecurityError(
+                f"decision signed by {signer_of(clear)!r}, expected {pdp!r}"
+            )
+        return clear.body_xml
+
+    def _exchange(self, action: str, payload) -> tuple[Message, str]:
+        """One decision round-trip: dispatcher failover or the single PDP."""
+        if self.dispatcher is not None:
+            return self.dispatcher.dispatch(
+                self, action, payload, timeout=self.config.pdp_timeout
+            )
         pdp = self._choose_pdp()
         if pdp is None:
             raise RpcTimeout(self.name, "<none>", "no PDP configured", self.now)
+        reply = self.call(pdp, action, payload, timeout=self.config.pdp_timeout)
+        return reply, pdp
+
+    def _query_pdp(self, request: RequestContext) -> XacmlAuthzDecisionStatement:
         query = XacmlAuthzDecisionQuery(
             request=request, issuer=self.name, issue_instant=self.now
         )
         if self.config.secure_channel:
-            if self.identity is None:
-                raise ValueError(f"PEP {self.name} has no identity for secure mode")
-            envelope = SoapEnvelope(
-                action=SECURE_QUERY_ACTION, body_xml=query.to_xml()
+            payload = self._secure_payload(SECURE_QUERY_ACTION, query.to_xml())
+            reply, pdp = self._exchange(SECURE_QUERY_ACTION, payload)
+            return XacmlAuthzDecisionStatement.from_xml(
+                self._verify_reply_body(reply, pdp)
             )
-            envelope = secure_envelope(
-                envelope,
-                self.identity.keypair,
-                self.identity.certificate,
-                self.identity.keystore,
-            )
-            reply = self.call(
-                pdp, SECURE_QUERY_ACTION, envelope, timeout=self.config.pdp_timeout
-            )
-            reply_envelope = reply.payload
-            if not isinstance(reply_envelope, SoapEnvelope):
-                raise RpcFault("pep:bad-reply", "PDP returned non-SOAP payload")
-            clear = verify_envelope(
-                reply_envelope,
-                self.identity.keystore,
-                self.identity.validator,
-                decrypt_with=self.identity.keypair,
-                config=SecurityConfig(require_signature=True),
-                at=self.now,
-            )
-            if signer_of(clear) != pdp:
-                raise WsSecurityError(
-                    f"decision signed by {signer_of(clear)!r}, expected {pdp!r}"
-                )
-            return XacmlAuthzDecisionStatement.from_xml(clear.body_xml)
-        reply = self.call(
-            pdp, QUERY_ACTION, query.to_xml(), timeout=self.config.pdp_timeout
-        )
+        reply, _ = self._exchange(QUERY_ACTION, query.to_xml())
         return XacmlAuthzDecisionStatement.from_xml(str(reply.payload))
+
+    # -- batched decision queries ------------------------------------------------------
+
+    def _build_batch_query(
+        self, requests: list[RequestContext]
+    ) -> tuple[str, object, XacmlAuthzDecisionBatchQuery]:
+        """Build the wire form of a batch query: (action, payload, query).
+
+        On the secure channel the whole batch rides under one
+        WS-Security signature — the per-envelope amortisation the
+        decision fabric exists for.
+        """
+        batch = XacmlAuthzDecisionBatchQuery.for_requests(
+            requests, issuer=self.name, issue_instant=self.now
+        )
+        if self.config.secure_channel:
+            payload = self._secure_payload(
+                SECURE_BATCH_QUERY_ACTION, batch.to_xml()
+            )
+            return SECURE_BATCH_QUERY_ACTION, payload, batch
+        return BATCH_QUERY_ACTION, batch.to_xml(), batch
+
+    def _parse_batch_reply(
+        self, reply: Message, pdp: str
+    ) -> XacmlAuthzDecisionBatchStatement:
+        if self.config.secure_channel:
+            return XacmlAuthzDecisionBatchStatement.from_xml(
+                self._verify_reply_body(reply, pdp)
+            )
+        return XacmlAuthzDecisionBatchStatement.from_xml(str(reply.payload))
+
+    def _query_pdp_batch(
+        self, requests: list[RequestContext]
+    ) -> XacmlAuthzDecisionBatchStatement:
+        action, payload, batch = self._build_batch_query(requests)
+        reply, pdp = self._exchange(action, payload)
+        statement_batch = self._parse_batch_reply(reply, pdp)
+        if statement_batch.in_response_to != batch.batch_id:
+            raise RpcFault(
+                "pep:bad-reply",
+                f"reply answers {statement_batch.in_response_to!r}, "
+                f"expected {batch.batch_id!r}",
+            )
+        if len(statement_batch.statements) != len(requests):
+            raise RpcFault(
+                "pep:bad-reply",
+                f"{len(statement_batch.statements)} statements for "
+                f"{len(requests)} requests",
+            )
+        return statement_batch
+
+    def enable_batching(
+        self,
+        max_batch: int = 16,
+        max_delay: float = 0.002,
+        dispatcher: Optional[DecisionDispatcher] = None,
+    ) -> CoalescingDecisionQueue:
+        """Attach the coalescing queue (and optionally a dispatcher).
+
+        Afterwards :meth:`submit` feeds the queue; the synchronous
+        :meth:`authorize` / :meth:`authorize_batch` paths keep working
+        and also route through the dispatcher when one is given.
+        """
+        if dispatcher is not None:
+            self.dispatcher = dispatcher
+        self.coalescer = CoalescingDecisionQueue(
+            self,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            dispatcher=self.dispatcher,
+        )
+        return self.coalescer
+
+    def submit(self, request: RequestContext, callback) -> bool:
+        """Asynchronous enforcement through the coalescing queue.
+
+        The callback receives this request's :class:`EnforcementResult`
+        once the (possibly batched, possibly deduplicated) decision
+        lands.  Requires :meth:`enable_batching` first.
+        """
+        if self.coalescer is None:
+            raise ValueError(
+                f"PEP {self.name} has no coalescing queue; "
+                "call enable_batching() first"
+            )
+        return self.coalescer.submit(request, callback)
 
     # -- enforcement ----------------------------------------------------------------
 
-    def authorize(self, request: RequestContext) -> EnforcementResult:
-        """Full pull-model enforcement of one access request."""
-        self.enforcements += 1
+    def _pre_decision(
+        self, request: RequestContext, cache_key: tuple
+    ) -> Optional[EnforcementResult]:
+        """Guard + cache front of every path; None means 'ask a PDP'."""
         if self.revocation_guard is not None:
             reason = self.revocation_guard(request)
             if reason is not None:
@@ -207,30 +328,38 @@ class PolicyEnforcementPoint(Component):
                     source="revocation",
                     detail=reason,
                 )
-        cache_key = request.cache_key()
         cached = self.decision_cache.get(cache_key)
         if cached is not None:
-            result = self._enforce(
+            return self._enforce(
                 cached.response.decision,
                 tuple(cached.response.result.obligations),
                 request,
                 source="cache",
             )
-            return result
+        return None
+
+    def _fail_safe_result(self, exc: Exception) -> EnforcementResult:
+        self.fail_safe_denials += 1
+        self.denials += 1
+        return EnforcementResult(
+            decision=Decision.DENY,
+            source="fail-safe",
+            status=Status(code=StatusCode.PROCESSING_ERROR, message=str(exc)),
+            detail=f"fail-safe deny: {exc}",
+        )
+
+    def authorize(self, request: RequestContext) -> EnforcementResult:
+        """Full pull-model enforcement of one access request."""
+        self.enforcements += 1
+        cache_key = request.cache_key()
+        immediate = self._pre_decision(request, cache_key)
+        if immediate is not None:
+            return immediate
         try:
             statement = self._query_pdp(request)
         except (RpcTimeout, RpcFault, WsSecurityError) as exc:
             if self.config.deny_on_failure:
-                self.fail_safe_denials += 1
-                self.denials += 1
-                return EnforcementResult(
-                    decision=Decision.DENY,
-                    source="fail-safe",
-                    status=Status(
-                        code=StatusCode.PROCESSING_ERROR, message=str(exc)
-                    ),
-                    detail=f"fail-safe deny: {exc}",
-                )
+                return self._fail_safe_result(exc)
             raise
         self.decision_cache.put(cache_key, statement)
         return self._enforce(
@@ -239,6 +368,59 @@ class PolicyEnforcementPoint(Component):
             request,
             source="pdp",
         )
+
+    def authorize_batch(
+        self, requests: list[RequestContext]
+    ) -> list[EnforcementResult]:
+        """Synchronous batched enforcement of N requests, in order.
+
+        Guard checks and cache hits resolve locally; the remaining
+        *unique* misses travel as one batch decision query (one
+        round-trip, one signature in secure mode).  Each request still
+        gets its own enforcement — obligations run per waiter, and
+        counters advance exactly as if :meth:`authorize` had been called
+        N times.
+        """
+        self.enforcements += len(requests)
+        results: list[Optional[EnforcementResult]] = [None] * len(requests)
+        miss_order: list[tuple[tuple, RequestContext]] = []
+        miss_indices: dict[tuple, list[int]] = {}
+        for index, request in enumerate(requests):
+            key = request.cache_key()
+            immediate = self._pre_decision(request, key)
+            if immediate is not None:
+                results[index] = immediate
+                continue
+            waiters = miss_indices.get(key)
+            if waiters is None:
+                miss_indices[key] = [index]
+                miss_order.append((key, request))
+            else:
+                waiters.append(index)
+        if miss_order:
+            try:
+                statement_batch = self._query_pdp_batch(
+                    [request for _, request in miss_order]
+                )
+            except (RpcTimeout, RpcFault, WsSecurityError) as exc:
+                if not self.config.deny_on_failure:
+                    raise
+                for waiters in miss_indices.values():
+                    for index in waiters:
+                        results[index] = self._fail_safe_result(exc)
+            else:
+                for (key, request), statement in zip(
+                    miss_order, statement_batch.statements
+                ):
+                    self.decision_cache.put(key, statement)
+                    for index in miss_indices[key]:
+                        results[index] = self._enforce(
+                            statement.response.decision,
+                            tuple(statement.response.result.obligations),
+                            requests[index],
+                            source="pdp",
+                        )
+        return results  # type: ignore[return-value]
 
     def _enforce(
         self,

@@ -13,10 +13,12 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 from typing import Callable, Optional
+from xml.sax.saxutils import escape, quoteattr, unescape
 
 from ..simnet.message import Message
 from ..simnet.network import Network
 from ..xacml.attributes import AttributeValue, Category, DataType
+from ..xmlutil import parse_attrs
 from .base import Component, ComponentIdentity
 
 EnvironmentProvider = Callable[[float], list[AttributeValue]]
@@ -96,31 +98,35 @@ class AttributeStore:
 def serialize_pip_query(
     category: Category, attribute_id: str, about: str, data_type: DataType
 ) -> str:
+    # ``quoteattr`` rather than bare interpolation: ``about`` carries
+    # subject/resource ids straight from requests, and a quote in one
+    # must not be able to break (or smuggle attributes into) the query.
     return (
-        f'<PipQuery category="{category.short_name}" attributeId="{attribute_id}" '
-        f'about="{about}" dataType="{data_type.value}"/>'
+        f"<PipQuery category={quoteattr(category.short_name)} "
+        f"attributeId={quoteattr(attribute_id)} "
+        f"about={quoteattr(about)} dataType={quoteattr(data_type.value)}/>"
     )
 
 
 def parse_pip_query(xml_text: str) -> tuple[Category, str, str, DataType]:
-    match = re.match(
-        r'<PipQuery category="([^"]*)" attributeId="([^"]*)" '
-        r'about="([^"]*)" dataType="([^"]*)"/>$',
-        xml_text,
-    )
+    match = re.match(r"<PipQuery ([^>]*)/>$", xml_text)
     if match is None:
         raise ValueError(f"bad PIP query: {xml_text[:80]!r}")
+    attrs = parse_attrs(match.group(1))
+    missing = {"category", "attributeId", "about", "dataType"} - set(attrs)
+    if missing:
+        raise ValueError(f"bad PIP query, missing {sorted(missing)}")
     return (
-        Category.from_short_name(match.group(1)),
-        match.group(2),
-        match.group(3),
-        DataType.from_uri(match.group(4)),
+        Category.from_short_name(attrs["category"]),
+        attrs["attributeId"],
+        attrs["about"],
+        DataType.from_uri(attrs["dataType"]),
     )
 
 
 def serialize_pip_response(values: list[AttributeValue]) -> str:
     inner = "".join(
-        f'<AttributeValue DataType="{v.data_type.value}">{v.lexical()}'
+        f'<AttributeValue DataType="{v.data_type.value}">{escape(v.lexical())}'
         f"</AttributeValue>"
         for v in values
     )
@@ -133,7 +139,7 @@ def parse_pip_response(xml_text: str) -> list[AttributeValue]:
         r'<AttributeValue DataType="([^"]*)">([^<]*)</AttributeValue>', xml_text
     ):
         data_type = DataType.from_uri(match.group(1))
-        values.append(AttributeValue.parse(data_type, match.group(2)))
+        values.append(AttributeValue.parse(data_type, unescape(match.group(2))))
     return values
 
 

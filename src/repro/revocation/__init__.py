@@ -25,7 +25,12 @@ from .authority import (
     parse_status,
     status_request,
 )
-from .bus import DEFAULT_TOPIC, INVALIDATION_KIND, InvalidationBus
+from .bus import (
+    BATCH_INVALIDATION_KIND,
+    DEFAULT_TOPIC,
+    INVALIDATION_KIND,
+    InvalidationBus,
+)
 from .coherence import CoherenceAgent
 from .records import (
     RevocationError,
@@ -44,6 +49,7 @@ from .records import (
 )
 from .registry import RevocationListener, RevocationRegistry
 from .strategies import (
+    HybridStrategy,
     OnlineStatusStrategy,
     PropagationStrategy,
     PullStrategy,
@@ -52,9 +58,11 @@ from .strategies import (
 )
 
 __all__ = [
+    "BATCH_INVALIDATION_KIND",
     "CRL_ACTION",
     "CoherenceAgent",
     "DEFAULT_TOPIC",
+    "HybridStrategy",
     "INVALIDATION_KIND",
     "InvalidationBus",
     "OnlineStatusStrategy",

@@ -42,6 +42,12 @@ class RevocationAuthority(Component):
         registry: the unified registry this authority fronts; a fresh
             unsigned one is created when omitted.
         bus: when given, every new record is pushed to subscribers.
+        push_window: when positive, new records are *coalesced*: instead
+            of one bus publication per record, records issued within a
+            window are buffered and flushed as one batched publication
+            when the window closes.  Trades up to ``push_window`` extra
+            staleness for an N-fold message saving under revocation
+            bursts (the batched-invalidation rows of experiment E15).
     """
 
     def __init__(
@@ -52,6 +58,7 @@ class RevocationAuthority(Component):
         identity: Optional[ComponentIdentity] = None,
         registry: Optional[RevocationRegistry] = None,
         bus: Optional[InvalidationBus] = None,
+        push_window: float = 0.0,
     ) -> None:
         super().__init__(name, network, domain, identity)
         if registry is None:
@@ -62,9 +69,13 @@ class RevocationAuthority(Component):
             )
         self.registry = registry
         self.bus = bus
+        self.push_window = push_window
         self.status_queries = 0
         self.crl_requests = 0
         self.invalidations_pushed = 0
+        self.push_flushes = 0
+        self._push_buffer: list = []
+        self._flush_scheduled = False
         registry.add_listener(self._on_revocation)
         self.on(STATUS_ACTION, self._handle_status)
         self.on(CRL_ACTION, self._handle_crl)
@@ -90,8 +101,24 @@ class RevocationAuthority(Component):
         )
 
     def _on_revocation(self, record) -> None:
-        if self.bus is not None and self.alive:
+        if self.bus is None or not self.alive:
+            return
+        if self.push_window <= 0:
             self.invalidations_pushed += self.bus.publish(self.name, record)
+            return
+        self._push_buffer.append(record)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.network.schedule(self.push_window, self._flush_push_buffer)
+
+    def _flush_push_buffer(self) -> None:
+        """Publish everything buffered during one push window as a batch."""
+        self._flush_scheduled = False
+        records, self._push_buffer = self._push_buffer, []
+        if not records or self.bus is None or not self.alive:
+            return
+        self.push_flushes += 1
+        self.invalidations_pushed += self.bus.publish_batch(self.name, records)
 
     # -- RPC handlers ------------------------------------------------------------
 

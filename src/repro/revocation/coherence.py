@@ -201,13 +201,33 @@ class CoherenceAgent(Component):
         except RevocationError:
             self.rejected_invalidations += 1
             return None
+        self._verify_and_apply(record)
+        return None
+
+    def handle_batch_invalidation(self, message: Message) -> None:
+        """Inbound coalesced push: one message carrying N records.
+
+        Each record is verified and applied individually, so one forged
+        record smuggled into a batch is rejected without poisoning its
+        genuine siblings.
+        """
+        self.invalidations_received += 1
+        try:
+            records, _ = parse_records(str(message.payload))
+        except RevocationError:
+            self.rejected_invalidations += 1
+            return None
+        for record in records:
+            self._verify_and_apply(record)
+        return None
+
+    def _verify_and_apply(self, record: RevocationRecord) -> bool:
         if self.authority_key is not None and not verify_record(
             record, self.keystore, self.authority_key
         ):
             self.rejected_invalidations += 1
-            return None
-        self.apply(record)
-        return None
+            return False
+        return self.apply(record)
 
     def fetch_delta(self) -> int:
         """Pull every record after our epoch; returns newly applied count."""

@@ -26,25 +26,9 @@ from dataclasses import dataclass, replace
 from urllib.parse import quote
 from xml.sax.saxutils import escape, quoteattr, unescape
 
-#: ``quoteattr`` may emit &quot;/&apos; (value contains both quote
-#: styles); ``unescape`` needs them named to invert it exactly.
-_ATTR_ENTITIES = {"&quot;": '"', "&apos;": "'"}
-
-
-def parse_attrs(attr_text: str) -> dict[str, str]:
-    """Parse ``name="value"`` / ``name='value'`` pairs, unescaping values.
-
-    The exact inverse of ``quoteattr`` serialization; shared by every
-    wire format in this subsystem so hostile characters in targets or
-    subject ids round-trip losslessly everywhere.
-    """
-    return {
-        m.group(1): unescape(
-            m.group(2) if m.group(2) is not None else m.group(3),
-            _ATTR_ENTITIES,
-        )
-        for m in re.finditer(r"(\w+)=(?:\"([^\"]*)\"|'([^']*)')", attr_text)
-    }
+# Re-exported: this module was the helpers' original home and the other
+# wire formats in this package import them from here.
+from ..xmlutil import _ATTR_ENTITIES, parse_attrs
 
 
 class RevocationError(Exception):

@@ -25,7 +25,7 @@ from typing import Optional
 
 from ..components.base import RpcFault, RpcTimeout
 from ..components.cache import TtlCache
-from .bus import INVALIDATION_KIND, InvalidationBus
+from .bus import BATCH_INVALIDATION_KIND, INVALIDATION_KIND, InvalidationBus
 from .records import RevocationError, RevocationKind
 
 #: A failed authority interaction: unreachable, faulting, or replying
@@ -170,6 +170,52 @@ class PushStrategy(PropagationStrategy):
     def attach(self, agent) -> None:
         self.bus.subscribe(agent.name)
         agent.on(INVALIDATION_KIND, agent.handle_invalidation)
+        agent.on(BATCH_INVALIDATION_KIND, agent.handle_batch_invalidation)
 
     def detach(self, agent) -> None:
         self.bus.unsubscribe(agent.name)
+
+
+class HybridStrategy(PropagationStrategy):
+    """Push for speed, slow periodic pull as loss recovery.
+
+    Closes the documented push gap (a lost push is never retransmitted):
+    the agent subscribes to the invalidation bus *and* runs a slow
+    delta-CRL poll.  Steady-state staleness is the push propagation
+    delay; worst-case staleness after a lost/partitioned push is bounded
+    by ``pull_interval`` instead of forever.  Message cost is the push
+    cost plus ``2/pull_interval`` messages per second per relying party
+    — the safety net is cheap precisely because it may be slow.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self, bus: InvalidationBus, pull_interval: float = 60.0
+    ) -> None:
+        self.push = PushStrategy(bus)
+        self.pull = PullStrategy(interval=pull_interval)
+
+    @property
+    def bus(self) -> InvalidationBus:
+        return self.push.bus
+
+    @property
+    def pull_interval(self) -> float:
+        return self.pull.interval
+
+    @property
+    def polls(self) -> int:
+        return self.pull.polls
+
+    @property
+    def failed_polls(self) -> int:
+        return self.pull.failed_polls
+
+    def attach(self, agent) -> None:
+        self.push.attach(agent)
+        self.pull.attach(agent)
+
+    def detach(self, agent) -> None:
+        self.push.detach(agent)
+        self.pull.detach(agent)

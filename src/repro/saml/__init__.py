@@ -17,7 +17,12 @@ from .bindings import (
     first_assertion,
     has_assertion,
 )
-from .xacml_profile import XacmlAuthzDecisionQuery, XacmlAuthzDecisionStatement
+from .xacml_profile import (
+    XacmlAuthzDecisionBatchQuery,
+    XacmlAuthzDecisionBatchStatement,
+    XacmlAuthzDecisionQuery,
+    XacmlAuthzDecisionStatement,
+)
 
 __all__ = [
     "ASSERTION_HEADER",
@@ -27,6 +32,8 @@ __all__ = [
     "AuthnStatement",
     "AuthzDecisionStatement",
     "SignedAssertion",
+    "XacmlAuthzDecisionBatchQuery",
+    "XacmlAuthzDecisionBatchStatement",
     "XacmlAuthzDecisionQuery",
     "XacmlAuthzDecisionStatement",
     "attach_assertion",

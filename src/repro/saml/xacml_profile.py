@@ -10,11 +10,19 @@ the two message shapes that profile defines:
 * :class:`XacmlAuthzDecisionStatement` — a SAML statement wrapping an
   XACML response context (PDP → PEP), usable inside a signed assertion so
   decisions are attributable and non-forgeable.
+
+Plus the batched envelope pair the decision fabric rides on:
+
+* :class:`XacmlAuthzDecisionBatchQuery` — N queries under one envelope
+  (and, in secure mode, one WS-Security signature for the lot);
+* :class:`XacmlAuthzDecisionBatchStatement` — the N matching statements,
+  one per inner query id, in query order.
 """
 
 from __future__ import annotations
 
 import itertools
+import re
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -23,6 +31,7 @@ from ..xacml.parser import parse_request, parse_response
 from ..xacml.serializer import serialize_request, serialize_response
 
 _query_ids = itertools.count(1)
+_batch_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -125,4 +134,148 @@ class XacmlAuthzDecisionStatement:
             issuer=match.group(3),
             issue_instant=float(match.group(2)),
             request_echo=parse_request(echo) if echo else None,
+        )
+
+
+@dataclass(frozen=True)
+class XacmlAuthzDecisionBatchQuery:
+    """N decision queries carried in one envelope (PEP → PDP).
+
+    Per-message costs — one transport round-trip and, on the secure
+    channel, one WS-Security verification — are paid once for the whole
+    batch instead of once per request.  A batch of one is wire-compatible
+    with sending the inner query alone apart from the wrapper element.
+    """
+
+    queries: tuple[XacmlAuthzDecisionQuery, ...]
+    issuer: str
+    issue_instant: float
+    batch_id: str = field(default_factory=lambda: f"xacmlb-{next(_batch_ids)}")
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise ValueError("a batch query needs at least one inner query")
+
+    @classmethod
+    def for_requests(
+        cls,
+        requests: list[RequestContext],
+        issuer: str,
+        issue_instant: float,
+    ) -> "XacmlAuthzDecisionBatchQuery":
+        return cls(
+            queries=tuple(
+                XacmlAuthzDecisionQuery(
+                    request=request, issuer=issuer, issue_instant=issue_instant
+                )
+                for request in requests
+            ),
+            issuer=issuer,
+            issue_instant=issue_instant,
+        )
+
+    def to_xml(self) -> str:
+        inner = "".join(query.to_xml() for query in self.queries)
+        return (
+            f'<xacml-samlp:XACMLAuthzDecisionBatchQuery ID="{self.batch_id}" '
+            f'IssueInstant="{self.issue_instant}" Count="{len(self.queries)}">'
+            f"<saml:Issuer>{self.issuer}</saml:Issuer>"
+            f"{inner}"
+            f"</xacml-samlp:XACMLAuthzDecisionBatchQuery>"
+        )
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.to_xml().encode("utf-8"))
+
+    @classmethod
+    def from_xml(cls, xml_text: str) -> "XacmlAuthzDecisionBatchQuery":
+        match = re.match(
+            r'<xacml-samlp:XACMLAuthzDecisionBatchQuery ID="([^"]*)" '
+            r'IssueInstant="([^"]*)" Count="(\d+)">'
+            r"<saml:Issuer>([^<]*)</saml:Issuer>(.*)"
+            r"</xacml-samlp:XACMLAuthzDecisionBatchQuery>$",
+            xml_text,
+            re.DOTALL,
+        )
+        if match is None:
+            raise ValueError("not an XACMLAuthzDecisionBatchQuery")
+        queries = tuple(
+            XacmlAuthzDecisionQuery.from_xml(m.group(0))
+            for m in re.finditer(
+                r"<xacml-samlp:XACMLAuthzDecisionQuery .*?"
+                r"</xacml-samlp:XACMLAuthzDecisionQuery>",
+                match.group(5),
+                re.DOTALL,
+            )
+        )
+        if len(queries) != int(match.group(3)):
+            raise ValueError(
+                f"batch declares {match.group(3)} queries, "
+                f"found {len(queries)}"
+            )
+        return cls(
+            queries=queries,
+            issuer=match.group(4),
+            issue_instant=float(match.group(2)),
+            batch_id=match.group(1),
+        )
+
+
+@dataclass(frozen=True)
+class XacmlAuthzDecisionBatchStatement:
+    """The PDP's answers to a batch query, in query order (PDP → PEP)."""
+
+    statements: tuple[XacmlAuthzDecisionStatement, ...]
+    in_response_to: str
+    issuer: str
+    issue_instant: float
+
+    def to_xml(self) -> str:
+        inner = "".join(statement.to_xml() for statement in self.statements)
+        return (
+            f"<xacml-saml:XACMLAuthzDecisionBatchStatement "
+            f'InResponseTo="{self.in_response_to}" '
+            f'IssueInstant="{self.issue_instant}" '
+            f'Count="{len(self.statements)}">'
+            f"<saml:Issuer>{self.issuer}</saml:Issuer>"
+            f"{inner}"
+            f"</xacml-saml:XACMLAuthzDecisionBatchStatement>"
+        )
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.to_xml().encode("utf-8"))
+
+    @classmethod
+    def from_xml(cls, xml_text: str) -> "XacmlAuthzDecisionBatchStatement":
+        match = re.match(
+            r"<xacml-saml:XACMLAuthzDecisionBatchStatement "
+            r'InResponseTo="([^"]*)" IssueInstant="([^"]*)" Count="(\d+)">'
+            r"<saml:Issuer>([^<]*)</saml:Issuer>(.*)"
+            r"</xacml-saml:XACMLAuthzDecisionBatchStatement>$",
+            xml_text,
+            re.DOTALL,
+        )
+        if match is None:
+            raise ValueError("not an XACMLAuthzDecisionBatchStatement")
+        statements = tuple(
+            XacmlAuthzDecisionStatement.from_xml(m.group(0))
+            for m in re.finditer(
+                r"<xacml-saml:XACMLAuthzDecisionStatement .*?"
+                r"</xacml-saml:XACMLAuthzDecisionStatement>",
+                match.group(5),
+                re.DOTALL,
+            )
+        )
+        if len(statements) != int(match.group(3)):
+            raise ValueError(
+                f"batch declares {match.group(3)} statements, "
+                f"found {len(statements)}"
+            )
+        return cls(
+            statements=statements,
+            in_response_to=match.group(1),
+            issuer=match.group(4),
+            issue_instant=float(match.group(2)),
         )

@@ -54,6 +54,11 @@ class MetricsRegistry:
     bytes_by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     latency_samples: list[float] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: Arbitrary named sample series (queueing delays, batch sizes, ...);
+    #: summarised on demand via :meth:`series`.
+    samples: dict[str, list[float]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
 
     def record_send(self, kind: str, size_bytes: int) -> None:
         self.messages_sent += 1
@@ -72,6 +77,14 @@ class MetricsRegistry:
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment an arbitrary named counter (cache hits, denials, ...)."""
         self.counters[counter] += amount
+
+    def record_sample(self, series: str, value: float) -> None:
+        """Append one observation to a named sample series."""
+        self.samples[series].append(value)
+
+    def series(self, name: str) -> LatencyStats:
+        """Summary statistics over a named sample series."""
+        return LatencyStats.from_samples(self.samples.get(name, ()))
 
     def latency(self) -> LatencyStats:
         return LatencyStats.from_samples(self.latency_samples)
@@ -101,3 +114,4 @@ class MetricsRegistry:
         self.bytes_by_kind.clear()
         self.latency_samples.clear()
         self.counters.clear()
+        self.samples.clear()

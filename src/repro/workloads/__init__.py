@@ -10,6 +10,7 @@ from .generator import (
     generate_policy_corpus,
     request_stream,
 )
+from .highload import ClosedLoopStats, access_requests, run_closed_loop
 from .scenarios import (
     Scenario,
     enterprise_soa,
@@ -21,10 +22,12 @@ from .scenarios import (
 __all__ = [
     "ACTIONS",
     "AccessEvent",
+    "ClosedLoopStats",
     "GeneratedWorkload",
     "PolicyCorpusSpec",
     "Scenario",
     "WorkloadSpec",
+    "access_requests",
     "build_workload",
     "enterprise_soa",
     "generate_policy_corpus",
@@ -32,4 +35,5 @@ __all__ = [
     "healthcare_federation",
     "request_stream",
     "revocation_churn",
+    "run_closed_loop",
 ]

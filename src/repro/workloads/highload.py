@@ -1,0 +1,136 @@
+"""Closed-loop high-load driving of the batched decision fabric.
+
+The request streams of :mod:`repro.workloads.generator` are *open loop*:
+experiments decide when each event fires.  Saturation experiments need
+the opposite — a fixed population of clients that each keep exactly one
+request outstanding and submit the next the moment the previous one
+completes.  Offered load is then set by the population size
+(``concurrency``), and the measured decisions/second is the system's
+actual capacity at that load, with queueing delay showing up as
+submit→completion latency (experiment E16's three reported axes).
+
+The driver is fully event-driven on top of
+:meth:`~repro.components.pep.PolicyEnforcementPoint.submit` (the
+coalescing queue), so a single ``network.run`` carries the whole run
+without growing the Python stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..components.fabric import QUEUE_LATENCY_SERIES
+from ..simnet.metrics import LatencyStats
+from ..xacml.context import RequestContext
+from .generator import AccessEvent
+
+
+def access_requests(events: Sequence[AccessEvent]) -> list[RequestContext]:
+    """Convert generated access events into XACML request contexts."""
+    return [
+        RequestContext.simple(e.subject_id, e.resource_id, e.action_id)
+        for e in events
+    ]
+
+
+@dataclass(frozen=True)
+class ClosedLoopStats:
+    """What one closed-loop run measured."""
+
+    offered_concurrency: int
+    submitted: int
+    completed: int
+    granted: int
+    denied: int
+    #: Simulated seconds from first submit to last completion.
+    duration: float
+    decisions_per_sec: float
+    #: Every message the run put on the wire (queries, replies, policy
+    #: fetches, PIP traffic) divided by completed decisions.
+    messages_total: int
+    messages_per_decision: float
+    #: Submit→completion delay of requests that crossed the wire
+    #: (cache/guard hits complete synchronously and are not sampled).
+    queue_latency: LatencyStats
+
+
+def run_closed_loop(
+    pep,
+    requests: Sequence[RequestContext],
+    concurrency: int,
+    horizon: float = 300.0,
+) -> ClosedLoopStats:
+    """Drive ``requests`` through ``pep`` with a fixed outstanding window.
+
+    Args:
+        pep: a PEP with batching enabled (:meth:`enable_batching`).
+        requests: the request sequence, submitted in order.
+        concurrency: how many requests are kept outstanding — the closed
+            loop's offered load.
+        horizon: simulated-seconds safety stop; a healthy run finishes
+            long before this.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    network = pep.network
+    metrics = network.metrics
+    started_at = network.now
+    messages_before = metrics.messages_sent
+    samples_before = len(metrics.samples.get(QUEUE_LATENCY_SERIES, ()))
+    total = len(requests)
+    state = {
+        "next": 0,
+        "completed": 0,
+        "granted": 0,
+        "pumping": False,
+        "last_completion_at": started_at,
+    }
+
+    def on_complete(result) -> None:
+        state["completed"] += 1
+        if result.granted:
+            state["granted"] += 1
+        state["last_completion_at"] = network.now
+        pump()
+
+    def pump() -> None:
+        # Re-entrancy guard: a submission that completes synchronously
+        # (guard denial, cache hit) calls on_complete -> pump inside
+        # submit; the outer loop is already refilling the window.
+        if state["pumping"]:
+            return
+        state["pumping"] = True
+        try:
+            while (
+                state["next"] < total
+                and state["next"] - state["completed"] < concurrency
+            ):
+                request = requests[state["next"]]
+                state["next"] += 1
+                pep.submit(request, on_complete)
+        finally:
+            state["pumping"] = False
+
+    pump()
+    network.run(until=started_at + horizon)
+    completed = state["completed"]
+    duration = max(state["last_completion_at"] - started_at, 1e-9)
+    messages_total = metrics.messages_sent - messages_before
+    latency = LatencyStats.from_samples(
+        metrics.samples.get(QUEUE_LATENCY_SERIES, [])[samples_before:]
+    )
+    return ClosedLoopStats(
+        offered_concurrency=concurrency,
+        submitted=state["next"],
+        completed=completed,
+        granted=state["granted"],
+        denied=completed - state["granted"],
+        duration=duration,
+        decisions_per_sec=completed / duration if completed else 0.0,
+        messages_total=messages_total,
+        messages_per_decision=(
+            messages_total / completed if completed else float("inf")
+        ),
+        queue_latency=latency,
+    )

@@ -309,6 +309,7 @@ def revocation_churn(
     member_count: int = 8,
     decision_cache_ttl: float = 30.0,
     strategy_factory=None,
+    push_window: float = 0.0,
 ):
     """Membership churn with unified revocation (experiment E15's setting).
 
@@ -323,6 +324,10 @@ def revocation_churn(
     ``notes["revoke_member"]`` performs one authoritative revocation:
     the registrar strips the member's role (PIP truth) *and* issues the
     registry record that propagation strategies carry to the archive.
+
+    ``push_window`` > 0 makes the authority coalesce revocation bursts
+    into batched bus publications (one message per subscriber per
+    window) — E15's message-overhead-saving variant.
     """
     network = Network(seed=seed)
     keystore = KeyStore(seed=seed)
@@ -369,6 +374,7 @@ def revocation_churn(
         domain="registrar",
         identity=authority_identity,
         bus=bus,
+        push_window=push_window,
     )
     # One source of revocation truth: legacy revocation owners delegate
     # to the authority's registry.

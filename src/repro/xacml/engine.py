@@ -14,7 +14,7 @@ a response context.  Two store strategies are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Union
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from . import combining
 from .attributes import ACTION_ID, Category, DataType, RESOURCE_ID, SUBJECT_ID
@@ -165,6 +165,10 @@ class PdpEngine:
         combining.lookup(policy_combining)
         self.attribute_finder = attribute_finder
         self.evaluations = 0
+        self.batches_evaluated = 0
+        #: Candidate lookups answered from the batch memo instead of the
+        #: target index — the engine-level work batching amortises.
+        self.candidate_lookups_shared = 0
 
     def add_policy(self, element: PolicyElement) -> None:
         self.store.add(element)
@@ -179,13 +183,80 @@ class PdpEngine:
         """Evaluate a request and produce a single-result response."""
         self.evaluations += 1
         stats = EvaluationStats()
+        candidates = self.store.candidates(request, stats)
+        return self._evaluate_candidates(
+            request, candidates, stats, current_time, self.attribute_finder
+        )
+
+    def evaluate_batch(
+        self,
+        requests: Sequence[RequestContext],
+        current_time: float = 0.0,
+        finder_for: Optional[
+            Callable[[RequestContext], Optional[AttributeFinder]]
+        ] = None,
+    ) -> list[EngineResponse]:
+        """Evaluate N requests against one snapshot of the policy store.
+
+        Element-wise equivalent to calling :meth:`evaluate` on each
+        request in order (a property test asserts exactly that), but the
+        batch shares target-index lookups: requests naming the same
+        (subject, resource, action) triple resolve their candidate list
+        once.  The store is not refreshed or mutated between elements —
+        the "one policy snapshot" guarantee a batched decision query
+        carries.
+
+        Args:
+            requests: request contexts, evaluated in order.
+            current_time: evaluation time shared by the whole batch.
+            finder_for: optional per-request attribute-finder factory
+                (the PDP binds its PIP resolver to each request); when
+                omitted every element uses ``self.attribute_finder``.
+        """
+        self.batches_evaluated += 1
+        memo: dict[tuple, list[PolicyElement]] = {}
+        responses: list[EngineResponse] = []
+        for request in requests:
+            self.evaluations += 1
+            stats = EvaluationStats()
+            key = (request.subject_id, request.resource_id, request.action_id)
+            candidates = memo.get(key)
+            if candidates is None:
+                candidates = self.store.candidates(request, stats)
+                memo[key] = candidates
+            else:
+                self.candidate_lookups_shared += 1
+                if self.store.indexed:
+                    stats.policies_skipped_by_index = len(self.store) - len(
+                        candidates
+                    )
+            finder = (
+                finder_for(request)
+                if finder_for is not None
+                else self.attribute_finder
+            )
+            responses.append(
+                self._evaluate_candidates(
+                    request, candidates, stats, current_time, finder
+                )
+            )
+        return responses
+
+    def _evaluate_candidates(
+        self,
+        request: RequestContext,
+        candidates: list[PolicyElement],
+        stats: EvaluationStats,
+        current_time: float,
+        attribute_finder: Optional[AttributeFinder],
+    ) -> EngineResponse:
+        """Combine the candidate elements' results into one response."""
         ctx = EvaluationContext(
             request=request,
             current_time=current_time,
-            attribute_finder=self.attribute_finder,
+            attribute_finder=attribute_finder,
             reference_resolver=self.store.get,
         )
-        candidates = self.store.candidates(request, stats)
         stats.policies_considered = len(candidates)
         results: list[PolicyResult] = []
 

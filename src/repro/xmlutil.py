@@ -1,0 +1,36 @@
+"""Shared XML attribute escaping helpers for the hand-rolled wire formats.
+
+Every wire format in this repository serializes XML by string formatting
+and parses it by regex; values that contain markup characters must
+therefore round-trip through ``xml.sax.saxutils``.  ``quoteattr`` emits
+``name="value"`` (or ``name='value'`` when the value itself contains a
+double quote), and :func:`parse_attrs` is its exact inverse.  The
+helpers started life in :mod:`repro.revocation.records`; they live here,
+below every layer, so that low-layer formats (the PIP query protocol,
+for one) can use them without an upward dependency.
+"""
+
+from __future__ import annotations
+
+import re
+from xml.sax.saxutils import unescape
+
+#: ``quoteattr`` may emit &quot;/&apos; (value contains both quote
+#: styles); ``unescape`` needs them named to invert it exactly.
+_ATTR_ENTITIES = {"&quot;": '"', "&apos;": "'"}
+
+
+def parse_attrs(attr_text: str) -> dict[str, str]:
+    """Parse ``name="value"`` / ``name='value'`` pairs, unescaping values.
+
+    The exact inverse of ``quoteattr`` serialization; shared by every
+    wire format so hostile characters in targets or subject ids
+    round-trip losslessly everywhere.
+    """
+    return {
+        m.group(1): unescape(
+            m.group(2) if m.group(2) is not None else m.group(3),
+            _ATTR_ENTITIES,
+        )
+        for m in re.finditer(r"(\w+)=(?:\"([^\"]*)\"|'([^']*)')", attr_text)
+    }

@@ -11,6 +11,7 @@ from repro.components import (
 )
 from repro.revocation import (
     CoherenceAgent,
+    HybridStrategy,
     InvalidationBus,
     OnlineStatusStrategy,
     PullStrategy,
@@ -38,7 +39,7 @@ def permissive_policy():
     )
 
 
-def build_env(strategy_factory, decision_cache_ttl=3600.0):
+def build_env(strategy_factory, decision_cache_ttl=3600.0, push_window=0.0):
     network = Network(seed=21)
     pap = PolicyAdministrationPoint("pap", network)
     pap.publish(permissive_policy())
@@ -51,7 +52,9 @@ def build_env(strategy_factory, decision_cache_ttl=3600.0):
         config=PepConfig(decision_cache_ttl=decision_cache_ttl),
     )
     bus = InvalidationBus(network)
-    authority = RevocationAuthority("authority", network, bus=bus)
+    authority = RevocationAuthority(
+        "authority", network, bus=bus, push_window=push_window
+    )
     agent = CoherenceAgent(
         "coherence", network, "authority", strategy_factory(bus)
     )
@@ -195,6 +198,143 @@ class TestPushStrategy:
         network.run(until=network.now + 1.0)
         assert agent.rejected_invalidations == 1
         assert agent.records_applied == 0
+
+
+class TestBatchedPush:
+    def test_burst_coalesces_into_one_publication(self):
+        network, authority, agent, pep, pdp = build_env(
+            PushStrategy, push_window=1.0
+        )
+        bus = authority.bus
+        for victim in ("alice", "bob", "carol"):
+            authority.registry.revoke_subject_access(victim)
+        assert bus.batch_publications == 0  # window still open
+        network.run(until=network.now + 2.0)
+        assert bus.batch_publications == 1
+        assert bus.records_batched == 3
+        assert bus.publications == 0  # nothing went out one-by-one
+        assert agent.records_applied == 3
+        for victim in ("alice", "bob", "carol"):
+            assert not pep.authorize_simple(victim, "doc", "read").granted
+        assert pep.authorize_simple("dave", "doc", "read").granted
+
+    def test_windows_close_independently(self):
+        network, authority, agent, pep, pdp = build_env(
+            PushStrategy, push_window=1.0
+        )
+        authority.registry.revoke_subject_access("alice")
+        network.run(until=network.now + 2.0)
+        authority.registry.revoke_subject_access("bob")
+        network.run(until=network.now + 2.0)
+        assert authority.bus.batch_publications == 2
+        assert authority.push_flushes == 2
+        assert agent.records_applied == 2
+
+    def test_forged_record_in_batch_rejected_without_poisoning_siblings(self):
+        from repro.components import ComponentIdentity
+        from repro.revocation import RevocationRegistry
+        from repro.wss import KeyStore
+        from repro.wss.pki import CertificateAuthority, TrustValidator
+
+        network = Network(seed=27)
+        keystore = KeyStore(seed=27)
+        ca = CertificateAuthority("ca", keystore)
+        keypair = keystore.generate(label="authority")
+        identity = ComponentIdentity(
+            name="authority",
+            keypair=keypair,
+            certificate=ca.issue("authority", keypair.public, 0.0, 1e6),
+            keystore=keystore,
+            validator=TrustValidator(keystore, anchors=[ca]),
+        )
+        bus = InvalidationBus(network)
+        authority = RevocationAuthority(
+            "authority", network, identity=identity, bus=bus, push_window=1.0
+        )
+        agent = CoherenceAgent(
+            "coherence", network, "authority", PushStrategy(bus),
+            keystore=keystore, authority_key=keypair.public,
+        )
+        genuine = authority.registry.revoke_subject_access("alice")
+        forged = RevocationRegistry("mallory").revoke_subject_access("bob")
+        bus.publish_batch("mallory", [genuine, forged])
+        network.run(until=network.now + 0.5)
+        assert agent.records_applied == 1  # the signed record
+        assert agent.rejected_invalidations == 1  # the forged one
+        assert agent.is_revoked_locally(
+            RevocationKind.ENTITLEMENT, subject_access_target("alice")
+        )
+        assert not agent.is_revoked_locally(
+            RevocationKind.ENTITLEMENT, subject_access_target("bob")
+        )
+
+    def test_malformed_batch_payload_rejected(self):
+        network, authority, agent, pep, pdp = build_env(PushStrategy)
+        from repro.revocation import BATCH_INVALIDATION_KIND
+        from repro.simnet import Message
+
+        network.transmit(
+            Message(
+                sender="mallory", recipient="coherence",
+                kind=BATCH_INVALIDATION_KIND, payload="<Garbage/>",
+            )
+        )
+        network.run(until=network.now + 1.0)
+        assert agent.rejected_invalidations == 1
+        assert agent.records_applied == 0
+
+
+class TestHybridStrategy:
+    def test_push_delivers_immediately(self):
+        network, authority, agent, pep, pdp = build_env(
+            lambda bus: HybridStrategy(bus, pull_interval=60.0)
+        )
+        assert pep.authorize_simple("alice", "doc", "read").granted
+        authority.registry.revoke_subject_access("alice")
+        network.run(until=network.now + 1.0)
+        assert agent.records_applied == 1  # via push, long before any poll
+        assert not pep.authorize_simple("alice", "doc", "read").granted
+
+    def test_lost_push_recovered_by_slow_pull(self):
+        """The gap TestPushStrategy.test_lost_push_is_not_retransmitted
+        documents: hybrid's pull safety net closes it."""
+        network, authority, agent, pep, pdp = build_env(
+            lambda bus: HybridStrategy(bus, pull_interval=10.0)
+        )
+        strategy = agent.strategy
+        network.partition("authority", "coherence")
+        authority.registry.revoke_subject_access("alice")
+        network.run(until=network.now + 1.0)
+        assert agent.records_applied == 0  # push lost, like pure push
+        assert pep.authorize_simple("alice", "doc", "read").granted
+        network.heal("authority", "coherence")
+        network.run(until=network.now + 11.0)  # past one pull interval
+        assert strategy.polls >= 1
+        assert agent.records_applied == 1
+        assert not pep.authorize_simple("alice", "doc", "read").granted
+
+    def test_pull_survives_authority_outage(self):
+        network, authority, agent, pep, pdp = build_env(
+            lambda bus: HybridStrategy(bus, pull_interval=5.0)
+        )
+        authority.crash()
+        network.run(until=network.now + 11.0)
+        assert agent.strategy.failed_polls >= 1
+        authority.recover()
+        authority.registry.revoke_subject_access("alice")
+        network.run(until=network.now + 1.0)
+        assert agent.records_applied == 1  # push resumed on recovery
+
+    def test_detach_stops_both_halves(self):
+        network, authority, agent, pep, pdp = build_env(
+            lambda bus: HybridStrategy(bus, pull_interval=5.0)
+        )
+        strategy = agent.strategy
+        strategy.detach(agent)
+        polls_before = strategy.polls
+        network.run(until=network.now + 20.0)
+        assert strategy.polls == polls_before
+        assert authority.bus.subscriber_count() == 0
 
 
 class TestPullStrategy:

@@ -1,0 +1,115 @@
+"""Closed-loop high-load driver: window discipline and measurement."""
+
+import pytest
+
+from repro.components import (
+    DecisionDispatcher,
+    PdpConfig,
+    PepConfig,
+    PolicyAdministrationPoint,
+    PolicyDecisionPoint,
+    PolicyEnforcementPoint,
+)
+from repro.simnet import Network
+from repro.workloads import (
+    WorkloadSpec,
+    access_requests,
+    request_stream,
+    run_closed_loop,
+)
+from repro.workloads.generator import AccessEvent
+from repro.xacml import Policy, RequestContext, combining, permit_rule
+
+
+def build_env(replicas=1, service=False):
+    network = Network(seed=61)
+    pap = PolicyAdministrationPoint("pap", network)
+    pap.publish(
+        Policy(
+            policy_id="p",
+            rules=(permit_rule("everyone"),),
+            rule_combining=combining.RULE_FIRST_APPLICABLE,
+        )
+    )
+    config = PdpConfig(
+        envelope_overhead=0.001 if service else 0.0,
+        decision_service_time=0.0001 if service else 0.0,
+    )
+    pdps = [
+        PolicyDecisionPoint(f"pdp-{i}", network, pap_address="pap", config=config)
+        for i in range(replicas)
+    ]
+    pep = PolicyEnforcementPoint(
+        "pep", network, pdp_address="pdp-0",
+        config=PepConfig(decision_cache_ttl=0.0),
+    )
+    dispatcher = (
+        DecisionDispatcher([p.name for p in pdps]) if replicas > 1 else None
+    )
+    pep.enable_batching(max_batch=4, max_delay=0.002, dispatcher=dispatcher)
+    return network, pep
+
+
+def distinct_requests(count):
+    return [
+        RequestContext.simple(f"user-{i}", f"res-{i % 7}", "read")
+        for i in range(count)
+    ]
+
+
+def test_completes_every_request():
+    network, pep = build_env()
+    stats = run_closed_loop(pep, distinct_requests(40), concurrency=8)
+    assert stats.submitted == 40
+    assert stats.completed == 40
+    assert stats.granted == 40
+    assert stats.denied == 0
+    assert stats.decisions_per_sec > 0
+    assert stats.messages_per_decision > 0
+    assert stats.queue_latency.count == 40
+
+
+def test_concurrency_window_is_respected():
+    network, pep = build_env(service=True)
+    observed = {"max": 0}
+    queue = pep.coalescer
+    original_submit = queue.submit
+
+    def tracking_submit(request, callback):
+        outstanding = queue.pending_count + sum(
+            len(b.entries) for b in queue._inflight.values()
+        )
+        observed["max"] = max(observed["max"], outstanding)
+        return original_submit(request, callback)
+
+    queue.submit = tracking_submit
+    pep.coalescer = queue
+    run_closed_loop(pep, distinct_requests(30), concurrency=5)
+    assert observed["max"] <= 5
+
+
+def test_cache_hits_complete_synchronously():
+    network, pep = build_env()
+    pep.config = PepConfig(decision_cache_ttl=600.0)
+    pep.decision_cache.ttl = 600.0
+    request = RequestContext.simple("user-0", "res", "read")
+    stats = run_closed_loop(pep, [request] * 20, concurrency=4)
+    assert stats.completed == 20
+    # Only the first submission crossed the wire; 19 were dedup/cache.
+    assert stats.queue_latency.count <= 4
+
+
+def test_access_requests_converts_events():
+    events = [
+        AccessEvent("s", "d1", "r", "d2", "read"),
+        AccessEvent("s2", "d1", "r2", "d2", "write"),
+    ]
+    requests = access_requests(events)
+    assert [r.subject_id for r in requests] == ["s", "s2"]
+    assert [r.action_id for r in requests] == ["read", "write"]
+
+
+def test_rejects_non_positive_concurrency():
+    network, pep = build_env()
+    with pytest.raises(ValueError, match="concurrency"):
+        run_closed_loop(pep, distinct_requests(2), concurrency=0)

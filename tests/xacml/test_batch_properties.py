@@ -1,0 +1,166 @@
+"""Property tests: ``evaluate_batch`` is element-wise ``evaluate``.
+
+The batched decision fabric rests on one guarantee: batching never
+changes a decision.  For randomized policy stores (indexed and linear)
+and randomized request batches — including batches with duplicate
+requests, which exercise the shared candidate-lookup memo — the batch
+API must return exactly what sequential evaluation returns, element for
+element: decision, status code, and obligations.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xacml import (
+    Decision,
+    Obligation,
+    PdpEngine,
+    Policy,
+    PolicyStore,
+    RequestContext,
+    combining,
+    deny_rule,
+    permit_rule,
+    subject_resource_action_target,
+)
+
+subjects = st.sampled_from([f"s{i}" for i in range(5)])
+resources = st.sampled_from([f"r{i}" for i in range(5)])
+actions = st.sampled_from(["read", "write", "delete"])
+
+
+@st.composite
+def random_policies(draw):
+    rule_count = draw(st.integers(min_value=1, max_value=4))
+    rules = []
+    for index in range(rule_count):
+        effect_permit = draw(st.booleans())
+        target = subject_resource_action_target(
+            draw(st.one_of(st.none(), subjects)),
+            draw(st.one_of(st.none(), resources)),
+            draw(st.one_of(st.none(), actions)),
+        )
+        builder = permit_rule if effect_permit else deny_rule
+        rules.append(builder(f"rule-{index}", target=target))
+    obligations = ()
+    if draw(st.booleans()):
+        obligations = (
+            Obligation(
+                obligation_id=f"urn:test:ob-{draw(st.integers(0, 2))}",
+                fulfill_on=(
+                    Decision.PERMIT if draw(st.booleans()) else Decision.DENY
+                ),
+            ),
+        )
+    return Policy(
+        policy_id=f"gen-{draw(st.uuids()).hex}",
+        rules=tuple(rules),
+        rule_combining=draw(
+            st.sampled_from(
+                [
+                    combining.RULE_DENY_OVERRIDES,
+                    combining.RULE_PERMIT_OVERRIDES,
+                    combining.RULE_FIRST_APPLICABLE,
+                ]
+            )
+        ),
+        target=subject_resource_action_target(
+            draw(st.one_of(st.none(), subjects)),
+            draw(st.one_of(st.none(), resources)),
+            None,
+        ),
+        obligations=obligations,
+    )
+
+
+@st.composite
+def request_batches(draw):
+    size = draw(st.integers(min_value=0, max_value=12))
+    batch = [
+        RequestContext.simple(
+            draw(subjects), draw(resources), draw(actions)
+        )
+        for _ in range(size)
+    ]
+    # Duplicate a prefix so the candidate memo actually gets hits.
+    duplicates = draw(st.integers(min_value=0, max_value=min(3, size)))
+    return batch + batch[:duplicates]
+
+
+def assert_elementwise_equal(engine: PdpEngine, requests) -> None:
+    sequential = [engine.evaluate(request) for request in requests]
+    batched = engine.evaluate_batch(requests)
+    assert len(batched) == len(sequential)
+    for seq, bat in zip(sequential, batched):
+        assert bat.decision is seq.decision
+        assert bat.response.result.status == seq.response.result.status
+        assert (
+            bat.response.result.obligations == seq.response.result.obligations
+        )
+        assert bat.response.result.resource_id == seq.response.result.resource_id
+        assert bat.stats.policies_considered == seq.stats.policies_considered
+        assert (
+            bat.stats.policies_skipped_by_index
+            == seq.stats.policies_skipped_by_index
+        )
+
+
+class TestBatchEquivalence:
+    @given(
+        st.lists(
+            random_policies(),
+            min_size=1,
+            max_size=8,
+            unique_by=lambda p: p.policy_id,
+        ),
+        request_batches(),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_equals_sequential(self, policies, requests, indexed):
+        engine = PdpEngine(PolicyStore(indexed=indexed))
+        for policy in policies:
+            engine.add_policy(policy)
+        assert_elementwise_equal(engine, requests)
+
+    @given(
+        st.lists(
+            random_policies(),
+            min_size=1,
+            max_size=6,
+            unique_by=lambda p: p.policy_id,
+        ),
+        request_batches(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_indexed_and_linear_stores_agree_on_batches(
+        self, policies, requests
+    ):
+        """A batch mixing store strategies: both stores, same decisions."""
+        indexed = PdpEngine(PolicyStore(indexed=True))
+        linear = PdpEngine(PolicyStore(indexed=False))
+        for policy in policies:
+            indexed.add_policy(policy)
+            linear.add_policy(policy)
+        for from_indexed, from_linear in zip(
+            indexed.evaluate_batch(requests), linear.evaluate_batch(requests)
+        ):
+            assert from_indexed.decision is from_linear.decision
+            assert (
+                from_indexed.response.result.obligations
+                == from_linear.response.result.obligations
+            )
+
+    def test_batch_memo_shares_candidate_lookups(self):
+        engine = PdpEngine(PolicyStore(indexed=True))
+        engine.add_policy(
+            Policy(
+                policy_id="p",
+                rules=(permit_rule("everyone"),),
+                rule_combining=combining.RULE_FIRST_APPLICABLE,
+            )
+        )
+        request = RequestContext.simple("alice", "doc", "read")
+        engine.evaluate_batch([request, request, request])
+        assert engine.candidate_lookups_shared == 2
+        assert engine.batches_evaluated == 1
+        assert engine.evaluations == 3
