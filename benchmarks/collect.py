@@ -1,0 +1,165 @@
+"""Collect the per-PR performance trajectory into ``BENCH_pr.json``.
+
+CI's ``bench-trajectory`` job runs this after the benchmark smoke pass
+and uploads the JSON as a workflow artifact, so every PR records where
+the three headline experiments stand:
+
+* **E15** — revocation propagation: staleness window vs message cost;
+* **E16** — per-PEP batched fabric: decisions/s, msgs/decision;
+* **E17** — domain gateway vs the per-PEP baseline at equal load.
+
+Runs everything in smoke dimensions (the module forces
+``REPRO_BENCH_SMOKE=1`` before importing the benchmark modules, whose
+sweep constants are bound at import time), so one pass takes seconds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/collect.py --output BENCH_pr.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+os.environ["REPRO_BENCH_SMOKE"] = "1"
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+
+def git_revision() -> str:
+    try:
+        return (
+            subprocess.check_output(
+                ["git", "rev-parse", "--short", "HEAD"],
+                stderr=subprocess.DEVNULL,
+            )
+            .decode()
+            .strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def collect_e15() -> dict:
+    """Staleness vs overhead for the push and hybrid strategies."""
+    import test_e15_revocation as e15
+
+    strategies = {}
+    for strategy in ("ttl-only", "push", "hybrid"):
+        staleness, stats = e15.run_churn(
+            strategy, cache_ttl=8.0, churn_interval=4.0
+        )
+        strategies[strategy] = {
+            "mean_staleness_s": round(sum(staleness) / len(staleness), 3),
+            "max_staleness_s": round(max(staleness), 3),
+            "revocation_msgs_per_access": round(
+                stats["revocation_msgs"] / stats["accesses"], 4
+            ),
+        }
+    return {
+        "description": "revocation propagation (cache TTL 8s, churn 4s)",
+        "strategies": strategies,
+    }
+
+
+def collect_e16() -> dict:
+    """Per-PEP batched fabric: the batch-1 baseline vs the full fabric."""
+    import test_e16_batching as e16
+    from repro.workloads import run_closed_loop
+
+    configs = {}
+    for label, batch, replicas in (
+        ("baseline_b1_r1", 1, 1),
+        ("fabric_b8_r2", 8, 2),
+    ):
+        network, pep, pdps, dispatcher = e16.build_fabric(batch, replicas)
+        stats = run_closed_loop(
+            pep, e16.request_mix(e16.EVENTS), concurrency=8
+        )
+        configs[label] = {
+            "decisions_per_sec": round(stats.decisions_per_sec, 1),
+            "msgs_per_decision": round(stats.messages_per_decision, 4),
+            "queue_p95_ms": round(stats.queue_latency.p95 * 1000, 2),
+        }
+    return {
+        "description": "single-PEP coalescing + replica dispatch "
+        f"({e16.EVENTS} closed-loop requests)",
+        "configs": configs,
+    }
+
+
+def collect_e17() -> dict:
+    """Domain gateway vs the per-PEP configuration at equal load."""
+    import test_e17_gateway as e17
+
+    configs = {}
+    for label, gateway in (("per_pep", False), ("gateway", True)):
+        network, peps, pdps, hub = e17.build_domain(
+            pep_count=4, replicas=2, gateway=gateway
+        )
+        stats = e17.drive(network, peps)
+        configs[label] = {
+            "decisions_per_sec": round(stats.fleet.decisions_per_sec, 1),
+            "msgs_per_decision": round(
+                stats.fleet.messages_per_decision, 4
+            ),
+            "queue_p95_ms": round(
+                stats.fleet.queue_latency.p95 * 1000, 2
+            ),
+        }
+    configs["gateway"]["cross_pep_dedup"] = hub.cross_pep_deduplicated
+    return {
+        "description": "4 PEPs x 2 replicas at equal offered load "
+        f"({e17.EVENTS} requests/PEP)",
+        "configs": configs,
+    }
+
+
+def collect() -> dict:
+    summary = {
+        "schema": 1,
+        "revision": git_revision(),
+        "smoke": True,
+        "experiments": {
+            "E15": collect_e15(),
+            "E16": collect_e16(),
+            "E17": collect_e17(),
+        },
+    }
+    e16 = summary["experiments"]["E16"]["configs"]
+    e17 = summary["experiments"]["E17"]["configs"]
+    # The headline trajectory numbers, hoisted for easy diffing per PR.
+    summary["headline"] = {
+        "fabric_decisions_per_sec": e16["fabric_b8_r2"]["decisions_per_sec"],
+        "fabric_msgs_per_decision": e16["fabric_b8_r2"]["msgs_per_decision"],
+        "gateway_decisions_per_sec": e17["gateway"]["decisions_per_sec"],
+        "gateway_msgs_per_decision": e17["gateway"]["msgs_per_decision"],
+        "push_staleness_s": summary["experiments"]["E15"]["strategies"][
+            "push"
+        ]["mean_staleness_s"],
+    }
+    return summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default="BENCH_pr.json",
+        help="where to write the JSON summary (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    summary = collect()
+    with open(args.output, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    print(json.dumps(summary["headline"], indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,7 +38,10 @@ from .fabric import (
     CoalescingDecisionQueue,
     DISPATCH_POLICIES,
     DecisionDispatcher,
+    DomainDecisionGateway,
     QUEUE_LATENCY_SERIES,
+    SUPER_BATCH_SERIES,
+    pep_latency_series,
 )
 from .pap import (
     PolicyAdministrationPoint,
@@ -79,7 +82,10 @@ __all__ = [
     "CoalescingDecisionQueue",
     "DISPATCH_POLICIES",
     "DecisionDispatcher",
+    "DomainDecisionGateway",
     "QUEUE_LATENCY_SERIES",
+    "SUPER_BATCH_SERIES",
+    "pep_latency_series",
     "SECURE_BATCH_QUERY_ACTION",
     "ENCRYPT_RESPONSE_OBLIGATION",
     "NOTIFY_OBLIGATION",

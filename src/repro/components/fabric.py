@@ -1,4 +1,4 @@
-"""The batched decision fabric: coalescing queue and replica dispatcher.
+"""The batched decision fabric: coalescing, aggregation and dispatch.
 
 Client-side plumbing that turns the one-query-per-message PEP→PDP hot
 path into a batched, load-balanced pipeline:
@@ -13,27 +13,59 @@ path into a batched, load-balanced pipeline:
   :class:`~repro.saml.xacml_profile.XacmlAuthzDecisionBatchQuery` when
   the batch fills (``max_batch``) or ages out (``max_delay``), with
   in-flight deduplication: identical concurrent requests ride one wire
-  slot and every waiter gets its own enforcement result.
+  slot and every waiter gets its own enforcement result;
+* :class:`DomainDecisionGateway` — a per-domain aggregation point many
+  PEPs register with.  Queue flushes from every registered PEP merge
+  into *super-batches*: identical requests from different PEPs share
+  one wire slot (cross-PEP dedup), results are demultiplexed back to
+  each owning PEP's queue for per-PEP enforcement, and an optional
+  fairness cap bounds one chatty PEP's share of any super-batch so its
+  backlog cannot starve quieter peers.
 
-The queue is fully event-driven: flushes *send* a message and return,
-and replies/timeouts are handled as ordinary inbound events, so a
-completion callback may safely submit the next request (the closed-loop
-pattern of :mod:`repro.workloads.highload`) without growing the stack.
+The queue and gateway are fully event-driven: flushes *send* a message
+and return, and replies/timeouts are handled as ordinary inbound events,
+so a completion callback may safely submit the next request (the
+closed-loop pattern of :mod:`repro.workloads.highload`) without growing
+the stack.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from ..simnet.events import EventHandle
 from ..simnet.message import Message
+from ..simnet.network import Network
+from ..wsvc.soap import SoapEnvelope
+from ..wsvc.ws_security import (
+    SecurityConfig,
+    WsSecurityError,
+    secure_envelope,
+    signer_of,
+    verify_envelope,
+)
+from ..saml.xacml_profile import (
+    XacmlAuthzDecisionBatchQuery,
+    XacmlAuthzDecisionBatchStatement,
+)
 from ..xacml.context import RequestContext
-from .base import RpcFault, RpcTimeout, _parse_fault
+from .base import Component, ComponentIdentity, RpcFault, RpcTimeout, _parse_fault
 from .pdp import BATCH_QUERY_ACTION, SECURE_BATCH_QUERY_ACTION
 
 #: Metrics sample series fed with per-request submit→completion delays.
 QUEUE_LATENCY_SERIES = "fabric.queue_latency"
+
+#: Metrics sample series fed with gateway super-batch sizes (unique
+#: requests per envelope).
+SUPER_BATCH_SERIES = "fabric.super_batch_size"
+
+
+def pep_latency_series(pep_name: str) -> str:
+    """Per-PEP submit→completion sample series (fairness reporting)."""
+    return f"{QUEUE_LATENCY_SERIES}.{pep_name}"
+
 
 #: Load-balancing policies the dispatcher understands.
 DISPATCH_POLICIES = ("round-robin", "least-outstanding")
@@ -148,11 +180,22 @@ CompletionCallback = Callable[[object], None]
 
 @dataclass
 class _PendingDecision:
-    """One unique request awaiting batching, with all its waiters."""
+    """One unique request awaiting batching, with all its waiters.
+
+    ``key`` is the *scoped* dedup key — the owning PEP's (domain, name)
+    identity plus the request's cache key — so entries from different
+    PEPs can never collide in any shared map (two PEPs behind one
+    gateway may carry identical-looking requests that must still be
+    enforced, cached and counted per PEP).  ``cache_key`` is the bare
+    request identity used for the owner's decision cache and for the
+    gateway's cross-PEP wire dedup.
+    """
 
     request: RequestContext
     key: tuple
+    cache_key: tuple
     enqueued_at: float
+    owner: "CoalescingDecisionQueue"
     callbacks: list[CompletionCallback] = field(default_factory=list)
 
 
@@ -181,6 +224,11 @@ class CoalescingDecisionQueue:
         dispatcher: optional replica dispatcher; without one every batch
             goes to the PEP's configured/selected PDP and a timeout is a
             fail-safe denial rather than a failover.
+        gateway: optional :class:`DomainDecisionGateway`; when given,
+            flushes hand their entries to the gateway (the domain's
+            shared aggregation point) instead of putting a per-PEP
+            envelope on the wire, and the gateway completes them via
+            :meth:`_complete_entry` / :meth:`_fail_entry`.
     """
 
     def __init__(
@@ -189,6 +237,7 @@ class CoalescingDecisionQueue:
         max_batch: int = 16,
         max_delay: float = 0.002,
         dispatcher: Optional[DecisionDispatcher] = None,
+        gateway: Optional["DomainDecisionGateway"] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -198,9 +247,14 @@ class CoalescingDecisionQueue:
         self.max_batch = max_batch
         self.max_delay = max_delay
         self.dispatcher = dispatcher
+        self.gateway = gateway
+        #: Scope prefix of every dedup key this queue mints: the owning
+        #: PEP's identity.  Keeps entries from different PEPs distinct
+        #: even inside shared (gateway-tier) bookkeeping.
+        self._scope = (pep.domain, pep.name)
         self._pending: dict[tuple, _PendingDecision] = {}
         self._inflight: dict[int, _InflightBatch] = {}
-        #: cache_key -> entry for every request currently on the wire,
+        #: scoped key -> entry for every request currently on the wire,
         #: so in-flight dedup is O(1) rather than a scan per submission.
         self._inflight_keys: dict[tuple, _PendingDecision] = {}
         self._flush_handle: Optional[EventHandle] = None
@@ -214,6 +268,12 @@ class CoalescingDecisionQueue:
         for action in (BATCH_QUERY_ACTION, SECURE_BATCH_QUERY_ACTION):
             pep.on(f"{action}:response", self._handle_reply)
             pep.on(f"{action}:fault", self._handle_fault)
+        if gateway is not None:
+            gateway.register(self)
+
+    def scoped_key(self, cache_key: tuple) -> tuple:
+        """The PEP/domain-scoped dedup key for one request identity."""
+        return (self._scope, cache_key)
 
     @property
     def pending_count(self) -> int:
@@ -238,12 +298,13 @@ class CoalescingDecisionQueue:
         """
         self.submissions += 1
         self.pep.enforcements += 1
-        key = request.cache_key()
-        immediate = self.pep._pre_decision(request, key)
+        cache_key = request.cache_key()
+        immediate = self.pep._pre_decision(request, cache_key)
         if immediate is not None:
             self.completions += 1
             callback(immediate)
             return True
+        key = self.scoped_key(cache_key)
         entry = self._pending.get(key) or self._inflight_keys.get(key)
         if entry is not None:
             self.deduplicated += 1
@@ -252,7 +313,9 @@ class CoalescingDecisionQueue:
         entry = _PendingDecision(
             request=request,
             key=key,
+            cache_key=cache_key,
             enqueued_at=self.pep.now,
+            owner=self,
             callbacks=[callback],
         )
         self._pending[key] = entry
@@ -272,7 +335,13 @@ class CoalescingDecisionQueue:
             self.flush()
 
     def flush(self) -> None:
-        """Send everything pending as one batch query immediately."""
+        """Send everything pending as one batch query immediately.
+
+        With a gateway attached the entries are handed to the domain's
+        aggregation point instead; they count as in flight here (so
+        later identical submissions still join them) and the gateway
+        completes or fails each one through this queue.
+        """
         if self._flush_handle is not None:
             self.pep.network.loop.cancel(self._flush_handle)
             self._flush_handle = None
@@ -280,6 +349,15 @@ class CoalescingDecisionQueue:
             return
         entries = list(self._pending.values())
         self._pending.clear()
+        if self.gateway is not None:
+            # No envelope leaves this queue: the gateway owns the wire
+            # (its super_batches_sent counts envelopes; this queue's
+            # batches_sent stays a wire-traffic counter and is not
+            # incremented for hand-offs).
+            for entry in entries:
+                self._inflight_keys[entry.key] = entry
+            self.gateway.ingest(self, entries)
+            return
         self._send(entries, tried=[])
 
     # -- the wire ----------------------------------------------------------------
@@ -372,23 +450,46 @@ class CoalescingDecisionQueue:
         except Exception as exc:  # malformed/forged reply: fail safe
             self._fail_batch(inflight.entries, exc)
             return None
-        metrics = self.pep.network.metrics
         for entry, statement in zip(inflight.entries, statement_batch.statements):
-            self._inflight_keys.pop(entry.key, None)
-            self.pep.decision_cache.put(entry.key, statement)
-            metrics.record_sample(
-                QUEUE_LATENCY_SERIES, self.pep.now - entry.enqueued_at
-            )
-            for callback in entry.callbacks:
-                result = self.pep._enforce(
-                    statement.response.decision,
-                    tuple(statement.response.result.obligations),
-                    entry.request,
-                    source="pdp",
-                )
-                self.completions += 1
-                callback(result)
+            self._complete_entry(entry, statement)
         return None
+
+    # -- per-entry completion (driven locally or by the gateway) -----------------
+
+    def _record_latency(self, entry: _PendingDecision) -> None:
+        delay = self.pep.now - entry.enqueued_at
+        metrics = self.pep.network.metrics
+        metrics.record_sample(QUEUE_LATENCY_SERIES, delay)
+        metrics.record_sample(pep_latency_series(self.pep.name), delay)
+
+    def _complete_entry(self, entry: _PendingDecision, statement) -> None:
+        """Deliver one decision statement to every waiter of ``entry``.
+
+        Caching, obligation enforcement and counters all happen against
+        the *owning* PEP — the gateway demultiplexes a shared wire slot
+        into one of these calls per contributing PEP.
+        """
+        self._inflight_keys.pop(entry.key, None)
+        self.pep.decision_cache.put(entry.cache_key, statement)
+        self._record_latency(entry)
+        for callback in entry.callbacks:
+            result = self.pep._enforce(
+                statement.response.decision,
+                tuple(statement.response.result.obligations),
+                entry.request,
+                source="pdp",
+            )
+            self.completions += 1
+            callback(result)
+
+    def _fail_entry(self, entry: _PendingDecision, exc: Exception) -> None:
+        """Fail-safe denial for every waiter of one entry."""
+        self._inflight_keys.pop(entry.key, None)
+        self._record_latency(entry)
+        for callback in entry.callbacks:
+            result = self.pep._fail_safe_result(exc)
+            self.completions += 1
+            callback(result)
 
     def _handle_fault(self, message: Message) -> None:
         inflight = self._take_inflight(message.reply_to)
@@ -409,20 +510,440 @@ class CoalescingDecisionQueue:
         ``PepConfig.deny_on_failure`` — the fail-open variant only
         exists on the synchronous path.
         """
-        metrics = self.pep.network.metrics
         for entry in entries:
-            self._inflight_keys.pop(entry.key, None)
-            metrics.record_sample(
-                QUEUE_LATENCY_SERIES, self.pep.now - entry.enqueued_at
-            )
-            for callback in entry.callbacks:
-                result = self.pep._fail_safe_result(exc)
-                self.completions += 1
-                callback(result)
+            self._fail_entry(entry, exc)
 
     def __repr__(self) -> str:
         return (
             f"CoalescingDecisionQueue(pep={self.pep.name}, "
             f"max_batch={self.max_batch}, pending={len(self._pending)}, "
+            f"inflight={len(self._inflight)})"
+        )
+
+
+@dataclass
+class _WireSlot:
+    """One unique request at the gateway tier, shared across PEPs.
+
+    Entries from different PEPs whose requests have the same cache key
+    attach to one slot (cross-PEP dedup): the slot travels once, the
+    reply statement is enforced per entry through each owning queue.
+    """
+
+    request: RequestContext
+    cache_key: tuple
+    owner: str  # name of the PEP whose flush first contributed the slot
+    entries: list[_PendingDecision] = field(default_factory=list)
+
+
+@dataclass
+class _InflightSuperBatch:
+    """One super-batch envelope on the wire, awaiting reply or deadline."""
+
+    batch: XacmlAuthzDecisionBatchQuery
+    slots: list[_WireSlot]
+    replica: str
+    tried: list[str]
+    sent_at: float
+
+
+class DomainDecisionGateway(Component):
+    """Per-domain aggregation point between many PEPs and the PDP tier.
+
+    PR 2's coalescing queue amortises per-envelope cost *per PEP*; a
+    domain full of PEPs still pays one envelope per PEP per flush.  The
+    gateway is the missing tier the paper's multi-domain architecture
+    implies: every registered PEP's queue flushes into it, and it merges
+    those flushes into super-batches for the shared
+    :class:`DecisionDispatcher`:
+
+    * **cross-PEP dedup** — identical requests from different PEPs ride
+      one wire slot; each PEP still gets its own enforcement (its own
+      obligations, counters, decision cache) when the slot's statement
+      is demultiplexed back through the owning queues;
+    * **fairness** — super-batches are drawn round-robin across the
+      registered PEPs' backlogs, and ``fairness_cap`` (when set) hard-
+      bounds one PEP's share of any super-batch, so a chatty PEP's
+      backlog turns into extra envelopes for *it* rather than queueing
+      delay for everyone else;
+    * **failover** — like the per-PEP queue, a timed-out super-batch is
+      re-sent to the next replica; faults are answers and fail safe.
+
+    The PEP→gateway hand-off is an intra-domain call (the gateway is
+    the domain's local aggregation sidecar); only gateway→PDP traffic
+    crosses the simulated network, which is exactly the boundary whose
+    per-message cost the paper's §3.2 analysis worries about.
+
+    Args:
+        name: network address of the gateway component.
+        network: the shared simulated network.
+        dispatcher: replica dispatcher the gateway feeds (required —
+            aggregation without dispatch would re-create the single
+            choke point replication exists to remove).
+        domain: owning administrative domain.
+        identity: key material for the secure channel.
+        max_batch: flush as soon as this many unique slots are pending;
+            also the hard size cap of one super-batch envelope (a flush
+            with a larger backlog drains as several envelopes, which
+            the dispatcher spreads over replicas).
+        max_delay: flush this many simulated seconds after the first
+            slot entered an empty backlog (latency bound for merging
+            several PEPs' flushes into one envelope).
+        fairness_cap: maximum slots one PEP contributes to a single
+            super-batch; None disables the cap (round-robin draw only).
+        secure_channel: sign super-batch queries / verify reply
+            signatures with the gateway's identity.
+        pdp_timeout: RPC deadline towards the PDP tier.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        dispatcher: DecisionDispatcher,
+        domain: str = "",
+        identity: Optional[ComponentIdentity] = None,
+        max_batch: int = 64,
+        max_delay: float = 0.001,
+        fairness_cap: Optional[int] = None,
+        secure_channel: bool = False,
+        pdp_timeout: float = 2.0,
+    ) -> None:
+        super().__init__(name, network, domain, identity)
+        if dispatcher is None:
+            raise ValueError("gateway requires a DecisionDispatcher")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        if fairness_cap is not None and fairness_cap < 1:
+            raise ValueError(f"fairness_cap must be >= 1, got {fairness_cap}")
+        if secure_channel and identity is None:
+            raise ValueError(
+                f"gateway {name} needs an identity for the secure channel"
+            )
+        self.dispatcher = dispatcher
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.fairness_cap = fairness_cap
+        self.secure_channel = secure_channel
+        self.pdp_timeout = pdp_timeout
+        self._queues: dict[str, CoalescingDecisionQueue] = {}
+        self._owner_order: list[str] = []
+        #: Per-owner FIFO of pending slots, drawn round-robin at flush.
+        self._backlog: dict[str, deque[_WireSlot]] = {}
+        self._pending_slots: dict[tuple, _WireSlot] = {}
+        self._inflight_slots: dict[tuple, _WireSlot] = {}
+        self._inflight: dict[int, _InflightSuperBatch] = {}
+        self._flush_handle: Optional[EventHandle] = None
+        self._drain_handle: Optional[EventHandle] = None
+        self._rr_start = 0
+        self.flushes_received = 0
+        self.requests_ingested = 0
+        self.cross_pep_deduplicated = 0
+        self.super_batches_sent = 0
+        self.flushes_on_size = 0
+        self.flushes_on_delay = 0
+        self.fairness_deferrals = 0
+        self.failovers = 0
+        self.decisions_delivered = 0
+        for action in (BATCH_QUERY_ACTION, SECURE_BATCH_QUERY_ACTION):
+            self.on(f"{action}:response", self._handle_reply)
+            self.on(f"{action}:fault", self._handle_fault)
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, queue: CoalescingDecisionQueue) -> None:
+        """Register one PEP's coalescing queue with this gateway."""
+        pep_name = queue.pep.name
+        if pep_name not in self._queues:
+            self._owner_order.append(pep_name)
+            self._backlog[pep_name] = deque()
+        self._queues[pep_name] = queue
+
+    @property
+    def registered_peps(self) -> list[str]:
+        return list(self._owner_order)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending_slots)
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    # -- ingestion ----------------------------------------------------------------
+
+    def ingest(
+        self, queue: CoalescingDecisionQueue, entries: list[_PendingDecision]
+    ) -> None:
+        """Merge one PEP queue flush into the gateway backlog.
+
+        Each entry either joins an existing slot for the same request
+        identity — pending *or* already on the wire — or opens a new
+        pending slot attributed to the contributing PEP.
+        """
+        if queue.pep.name not in self._queues:
+            self.register(queue)
+        self.flushes_received += 1
+        self.requests_ingested += len(entries)
+        for entry in entries:
+            slot = self._pending_slots.get(
+                entry.cache_key
+            ) or self._inflight_slots.get(entry.cache_key)
+            if slot is not None:
+                self.cross_pep_deduplicated += 1
+                slot.entries.append(entry)
+                continue
+            slot = _WireSlot(
+                request=entry.request,
+                cache_key=entry.cache_key,
+                owner=queue.pep.name,
+                entries=[entry],
+            )
+            self._pending_slots[entry.cache_key] = slot
+            self._backlog[slot.owner].append(slot)
+        if self._drain_handle is not None:
+            return  # a drain in progress will pick the new slots up
+        if len(self._pending_slots) >= self.max_batch:
+            self.flushes_on_size += 1
+            self.flush()
+        elif self._pending_slots and self._flush_handle is None:
+            self._flush_handle = self.network.loop.schedule(
+                self.max_delay, self._flush_on_delay, label="gateway-flush"
+            )
+
+    def _flush_on_delay(self) -> None:
+        self._flush_handle = None
+        if self._pending_slots:
+            self.flushes_on_delay += 1
+            self.flush()
+
+    # -- super-batching -----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Start draining the backlog as capped super-batches.
+
+        The drain is *paced*: one envelope goes out now, the next when
+        the first has finished serialising onto the wire (its size over
+        the egress link's bandwidth).  A real gateway writes envelopes
+        to its socket sequentially; emitting them all at the same
+        instant would let the simulator's per-message delivery model
+        reorder small envelopes ahead of large ones.
+        """
+        if self._flush_handle is not None:
+            self.network.loop.cancel(self._flush_handle)
+            self._flush_handle = None
+        if self._drain_handle is None:
+            self._drain_step()
+
+    def _drain_step(self) -> None:
+        self._drain_handle = None
+        if not self._pending_slots:
+            return
+        tx_time = self._send(self._take_super_batch(), tried=[])
+        if self._pending_slots:
+            self._drain_handle = self.network.loop.schedule(
+                tx_time, self._drain_step, label="gateway-drain"
+            )
+
+    def _take_super_batch(self) -> list[_WireSlot]:
+        """Draw the next super-batch fairly from the per-PEP backlogs.
+
+        Slots are taken one at a time round-robin across registered
+        PEPs (oldest first within each PEP), so every backlogged PEP is
+        represented before any PEP is represented twice.  A PEP stops
+        contributing at ``fairness_cap``; whatever it still has queued
+        waits for a later super-batch (counted as a deferral when the
+        cap — not an empty backlog — is what stopped it).
+        """
+        taken: list[_WireSlot] = []
+        taken_per_owner: dict[str, int] = {}
+        owners = [
+            self._owner_order[(self._rr_start + i) % len(self._owner_order)]
+            for i in range(len(self._owner_order))
+        ]
+        self._rr_start += 1
+        capped_owners: set[str] = set()
+        progressed = True
+        while len(taken) < self.max_batch and progressed:
+            progressed = False
+            for owner in owners:
+                if len(taken) >= self.max_batch:
+                    break
+                backlog = self._backlog[owner]
+                if not backlog:
+                    continue
+                if (
+                    self.fairness_cap is not None
+                    and taken_per_owner.get(owner, 0) >= self.fairness_cap
+                ):
+                    capped_owners.add(owner)
+                    continue
+                slot = backlog.popleft()
+                del self._pending_slots[slot.cache_key]
+                taken.append(slot)
+                taken_per_owner[owner] = taken_per_owner.get(owner, 0) + 1
+                progressed = True
+        self.fairness_deferrals += sum(
+            len(self._backlog[owner]) for owner in capped_owners
+        )
+        return taken
+
+    # -- the wire -----------------------------------------------------------------
+
+    def _secure_payload(self, action: str, body_xml: str) -> SoapEnvelope:
+        if self.identity is None:
+            raise ValueError(
+                f"gateway {self.name} has no identity for secure mode"
+            )
+        envelope = SoapEnvelope(action=action, body_xml=body_xml)
+        return secure_envelope(
+            envelope,
+            self.identity.keypair,
+            self.identity.certificate,
+            self.identity.keystore,
+        )
+
+    def _send(self, slots: list[_WireSlot], tried: list[str]) -> float:
+        """Put one super-batch on the wire; returns its serialisation time.
+
+        The return value (message bytes over the egress link's
+        bandwidth) is what the paced drain waits before emitting the
+        next envelope.
+        """
+        if not slots:
+            return 0.0
+        replica = self.dispatcher.select(exclude=tried)
+        if replica is None:
+            self._fail_slots(
+                slots,
+                RpcTimeout(
+                    self.name, "<none>", "no PDP reachable", self.now
+                ),
+            )
+            return 0.0
+        batch = XacmlAuthzDecisionBatchQuery.for_requests(
+            [slot.request for slot in slots],
+            issuer=self.name,
+            issue_instant=self.now,
+        )
+        if self.secure_channel:
+            action = SECURE_BATCH_QUERY_ACTION
+            payload: object = self._secure_payload(action, batch.to_xml())
+        else:
+            action = BATCH_QUERY_ACTION
+            payload = batch.to_xml()
+        message = Message(
+            sender=self.name, recipient=replica, kind=action, payload=payload
+        )
+        self._inflight[message.msg_id] = _InflightSuperBatch(
+            batch=batch,
+            slots=slots,
+            replica=replica,
+            tried=tried + [replica],
+            sent_at=self.now,
+        )
+        for slot in slots:  # idempotent across failover resends
+            self._inflight_slots[slot.cache_key] = slot
+        self.dispatcher.note_sent(replica)
+        self.super_batches_sent += 1
+        self.network.metrics.record_sample(SUPER_BATCH_SERIES, len(slots))
+        self.node.send(message)
+        self.network.loop.schedule(
+            self.pdp_timeout,
+            lambda: self._check_timeout(message.msg_id),
+            label="gateway-timeout",
+        )
+        link = self.network.link_between(self.name, replica)
+        return message.size_bytes / link.bandwidth
+
+    def _take_inflight(
+        self, reply_to: Optional[int]
+    ) -> Optional[_InflightSuperBatch]:
+        if reply_to is None:
+            return None
+        inflight = self._inflight.pop(reply_to, None)
+        if inflight is not None:
+            self.dispatcher.note_done(inflight.replica)
+        return inflight
+
+    def _check_timeout(self, msg_id: int) -> None:
+        inflight = self._take_inflight(msg_id)
+        if inflight is None:
+            return  # answered in time (or already failed over)
+        self.failovers += 1
+        self.dispatcher.failovers += 1
+        self._send(inflight.slots, tried=inflight.tried)
+
+    def _verify_reply_body(self, reply: Message, replica: str) -> str:
+        envelope = reply.payload
+        if not isinstance(envelope, SoapEnvelope):
+            raise RpcFault("gateway:bad-reply", "PDP returned non-SOAP payload")
+        clear = verify_envelope(
+            envelope,
+            self.identity.keystore,
+            self.identity.validator,
+            decrypt_with=self.identity.keypair,
+            config=SecurityConfig(require_signature=True),
+            at=self.now,
+        )
+        if signer_of(clear) != replica:
+            raise WsSecurityError(
+                f"decision signed by {signer_of(clear)!r}, "
+                f"expected {replica!r}"
+            )
+        return clear.body_xml
+
+    def _handle_reply(self, message: Message) -> None:
+        inflight = self._take_inflight(message.reply_to)
+        if inflight is None:
+            return None  # late reply after a timeout-triggered failover
+        try:
+            if self.secure_channel:
+                body = self._verify_reply_body(message, inflight.replica)
+            else:
+                body = str(message.payload)
+            statement_batch = XacmlAuthzDecisionBatchStatement.from_xml(body)
+            if statement_batch.in_response_to != inflight.batch.batch_id:
+                raise ValueError(
+                    f"reply answers {statement_batch.in_response_to!r}, "
+                    f"expected {inflight.batch.batch_id!r}"
+                )
+            if len(statement_batch.statements) != len(inflight.slots):
+                raise ValueError(
+                    f"reply has {len(statement_batch.statements)} statements "
+                    f"for {len(inflight.slots)} slots"
+                )
+        except Exception as exc:  # malformed/forged reply: fail safe
+            self._fail_slots(inflight.slots, exc)
+            return None
+        for slot, statement in zip(inflight.slots, statement_batch.statements):
+            self._inflight_slots.pop(slot.cache_key, None)
+            for entry in slot.entries:
+                self.decisions_delivered += 1
+                entry.owner._complete_entry(entry, statement)
+        return None
+
+    def _handle_fault(self, message: Message) -> None:
+        inflight = self._take_inflight(message.reply_to)
+        if inflight is None:
+            return None
+        code, reason = _parse_fault(str(message.payload))
+        # A fault is an answer, not a crash: no failover, fail-safe deny.
+        self._fail_slots(inflight.slots, RpcFault(code, reason))
+        return None
+
+    def _fail_slots(self, slots: list[_WireSlot], exc: Exception) -> None:
+        for slot in slots:
+            self._inflight_slots.pop(slot.cache_key, None)
+            for entry in slot.entries:
+                entry.owner._fail_entry(entry, exc)
+
+    def __repr__(self) -> str:
+        return (
+            f"DomainDecisionGateway({self.name}, "
+            f"peps={len(self._queues)}, pending={len(self._pending_slots)}, "
             f"inflight={len(self._inflight)})"
         )

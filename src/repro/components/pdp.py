@@ -20,7 +20,7 @@ architecture adds around it:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional
 
 from ..simnet.message import Message
 from ..saml.xacml_profile import (
@@ -35,11 +35,10 @@ from ..wsvc.ws_security import (
     SecurityConfig,
     WsSecurityError,
     secure_envelope,
-    signer_of,
     verify_envelope,
 )
 from ..xacml.attributes import AttributeValue, Category, DataType
-from ..xacml.context import Decision, RequestContext, ResponseContext, Status, StatusCode
+from ..xacml.context import RequestContext
 from ..xacml.engine import EngineResponse, PdpEngine, PolicyStore
 from .base import Component, ComponentIdentity, RpcFault, RpcTimeout
 from .pap import parse_bundle, parse_revision
@@ -70,12 +69,27 @@ class PdpConfig:
     #: PDP answers instantly like the seed.  ``envelope_overhead`` is
     #: paid once per inbound query message (parse + WS-Security work);
     #: ``decision_service_time`` once per request context evaluated.
-    #: With either non-zero the PDP becomes a FIFO single server:
-    #: replies queue behind earlier work, which is what makes batching
-    #: (fewer envelopes) and replication (more servers) measurable as
-    #: throughput, not just message counts (experiment E16).
+    #: With either non-zero the PDP becomes a FIFO server: replies queue
+    #: behind earlier work, which is what makes batching (fewer
+    #: envelopes) and replication (more servers) measurable as
+    #: throughput, not just message counts (experiments E16/E17).
     envelope_overhead: float = 0.0
     decision_service_time: float = 0.0
+    #: Evaluation workers inside this one replica.  Envelope work (the
+    #: single-threaded protocol front end: parsing, WS-Security) stays
+    #: serialised; the envelope's decisions are spread across the
+    #: workers, whose makespan is ``ceil(n / workers)`` decision times —
+    #: a lone decision still costs one full decision time.  This makes
+    #: worker-level scaling (parallelism inside a replica) and
+    #: replica-level scaling (more servers behind a dispatcher)
+    #: separately measurable (E17).
+    worker_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.worker_count < 1:
+            raise ValueError(
+                f"worker_count must be >= 1, got {self.worker_count}"
+            )
 
 
 class PolicyDecisionPoint(Component):
@@ -227,14 +241,19 @@ class PolicyDecisionPoint(Component):
 
         With the service-time model disabled (the default) the payload is
         returned and the base class replies immediately — seed behaviour.
-        Otherwise the PDP is a FIFO single server: the reply is scheduled
-        for when the accumulated busy period ends, so concurrent load
-        exhibits real queueing delay (measured by experiment E16).
+        Otherwise the PDP is a FIFO server: the reply is scheduled for
+        when the accumulated busy period ends, so concurrent load
+        exhibits real queueing delay (measured by experiments E16/E17).
+        Envelope overhead is serialised; the envelope's decisions are
+        spread over ``worker_count`` workers, whose makespan is
+        ``ceil(decisions / workers)`` decision service times.
         """
-        cost = (
-            self.config.envelope_overhead
-            + decisions * self.config.decision_service_time
-        )
+        cost = self.config.envelope_overhead
+        if decisions:
+            cost += (
+                -(-decisions // self.config.worker_count)
+                * self.config.decision_service_time
+            )
         if cost <= 0:
             return payload
         start = max(self._busy_until, self.now)

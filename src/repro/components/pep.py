@@ -21,7 +21,7 @@ covers the architectural duties Section 3 assigns to enforcement points:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..saml.xacml_profile import (
@@ -281,12 +281,17 @@ class PolicyEnforcementPoint(Component):
         max_batch: int = 16,
         max_delay: float = 0.002,
         dispatcher: Optional[DecisionDispatcher] = None,
+        gateway=None,
     ) -> CoalescingDecisionQueue:
-        """Attach the coalescing queue (and optionally a dispatcher).
+        """Attach the coalescing queue (and a dispatcher or gateway).
 
         Afterwards :meth:`submit` feeds the queue; the synchronous
         :meth:`authorize` / :meth:`authorize_batch` paths keep working
-        and also route through the dispatcher when one is given.
+        and also route through the dispatcher when one is given.  With a
+        :class:`~repro.components.fabric.DomainDecisionGateway` the
+        queue's flushes hand off to the domain's shared aggregation
+        point instead of sending per-PEP envelopes; the gateway owns
+        replica dispatch for that traffic.
         """
         if dispatcher is not None:
             self.dispatcher = dispatcher
@@ -295,6 +300,7 @@ class PolicyEnforcementPoint(Component):
             max_batch=max_batch,
             max_delay=max_delay,
             dispatcher=self.dispatcher,
+            gateway=gateway,
         )
         return self.coalescer
 

@@ -84,7 +84,20 @@ class MetricsRegistry:
 
     def series(self, name: str) -> LatencyStats:
         """Summary statistics over a named sample series."""
-        return LatencyStats.from_samples(self.samples.get(name, ()))
+        return self.series_window(name)
+
+    def sample_count(self, name: str) -> int:
+        """How many observations a named series holds right now.
+
+        Measurement windows remember this before a run and pass it to
+        :meth:`series_window` afterwards, so several measured runs can
+        share one registry without resetting it.
+        """
+        return len(self.samples.get(name, ()))
+
+    def series_window(self, name: str, start: int = 0) -> LatencyStats:
+        """Summary statistics over a series, skipping the first ``start``."""
+        return LatencyStats.from_samples(self.samples.get(name, [])[start:])
 
     def latency(self) -> LatencyStats:
         return LatencyStats.from_samples(self.latency_samples)

@@ -10,7 +10,14 @@ from .generator import (
     generate_policy_corpus,
     request_stream,
 )
-from .highload import ClosedLoopStats, access_requests, run_closed_loop
+from .highload import (
+    ClosedLoopStats,
+    MultiPepStats,
+    PepLoadStats,
+    access_requests,
+    run_closed_loop,
+    run_closed_loop_multi,
+)
 from .scenarios import (
     Scenario,
     enterprise_soa,
@@ -24,6 +31,8 @@ __all__ = [
     "AccessEvent",
     "ClosedLoopStats",
     "GeneratedWorkload",
+    "MultiPepStats",
+    "PepLoadStats",
     "PolicyCorpusSpec",
     "Scenario",
     "WorkloadSpec",
@@ -36,4 +45,5 @@ __all__ = [
     "request_stream",
     "revocation_churn",
     "run_closed_loop",
+    "run_closed_loop_multi",
 ]

@@ -9,7 +9,14 @@ completes.  Offered load is then set by the population size
 actual capacity at that load, with queueing delay showing up as
 submit→completion latency (experiment E16's three reported axes).
 
-The driver is fully event-driven on top of
+:func:`run_closed_loop` drives one PEP; :func:`run_closed_loop_multi`
+drives a whole domain of them against shared infrastructure — the
+many-PEP topology the :class:`~repro.components.fabric.
+DomainDecisionGateway` aggregates (experiment E17), with per-PEP
+completion/latency breakdowns so fairness across the domain's PEPs is
+measurable, not just the aggregate.
+
+Both drivers are fully event-driven on top of
 :meth:`~repro.components.pep.PolicyEnforcementPoint.submit` (the
 coalescing queue), so a single ``network.run`` carries the whole run
 without growing the Python stack.
@@ -20,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..components.fabric import QUEUE_LATENCY_SERIES
+from ..components.fabric import QUEUE_LATENCY_SERIES, pep_latency_series
 from ..simnet.metrics import LatencyStats
 from ..xacml.context import RequestContext
 from .generator import AccessEvent
@@ -63,6 +70,9 @@ def run_closed_loop(
 ) -> ClosedLoopStats:
     """Drive ``requests`` through ``pep`` with a fixed outstanding window.
 
+    The single-PEP view of :func:`run_closed_loop_multi` — one driver,
+    one implementation.
+
     Args:
         pep: a PEP with batching enabled (:meth:`enable_batching`).
         requests: the request sequence, submitted in order.
@@ -71,66 +81,163 @@ def run_closed_loop(
         horizon: simulated-seconds safety stop; a healthy run finishes
             long before this.
     """
-    if concurrency < 1:
-        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
-    network = pep.network
+    return run_closed_loop_multi(
+        [pep], [requests], concurrency, horizon=horizon
+    ).fleet
+
+
+@dataclass(frozen=True)
+class PepLoadStats:
+    """One PEP's share of a multi-PEP closed-loop run."""
+
+    name: str
+    submitted: int
+    completed: int
+    granted: int
+    denied: int
+    #: This PEP's submit→completion delays (wire-crossing requests only).
+    queue_latency: LatencyStats
+
+
+@dataclass(frozen=True)
+class MultiPepStats:
+    """What one multi-PEP closed-loop run measured.
+
+    ``fleet`` aggregates the whole domain (its ``offered_concurrency``
+    is the sum over PEPs, its latency the pooled samples); ``per_pep``
+    carries each PEP's own completion counts and latency distribution —
+    the view the gateway's fairness cap is judged against.
+    """
+
+    fleet: ClosedLoopStats
+    per_pep: tuple[PepLoadStats, ...]
+
+
+def run_closed_loop_multi(
+    peps: Sequence,
+    requests_by_pep: Sequence[Sequence[RequestContext]],
+    concurrency,
+    horizon: float = 300.0,
+) -> MultiPepStats:
+    """Drive one request sequence per PEP, all sharing one network.
+
+    Every PEP keeps its concurrency window of requests outstanding (the
+    domain's offered load is the sum of the windows), all windows refill
+    event-driven off their own completions, and a single ``network.run``
+    carries the whole domain to quiescence.
+
+    Args:
+        peps: PEPs with batching enabled — sharing a
+            :class:`~repro.components.fabric.DomainDecisionGateway` or
+            each running its own dispatcher (the E17 baseline).
+        requests_by_pep: one request sequence per PEP, same length as
+            ``peps``; sequences may differ in length.
+        concurrency: outstanding-request window *per PEP* — one int for
+            a uniform domain, or one int per PEP (how E17's fairness
+            experiment makes one PEP chatty).
+        horizon: simulated-seconds safety stop.
+    """
+    if len(peps) != len(requests_by_pep):
+        raise ValueError(
+            f"{len(peps)} PEPs but {len(requests_by_pep)} request sequences"
+        )
+    if not peps:
+        raise ValueError("need at least one PEP")
+    if isinstance(concurrency, int):
+        windows = [concurrency] * len(peps)
+    else:
+        windows = list(concurrency)
+        if len(windows) != len(peps):
+            raise ValueError(
+                f"{len(peps)} PEPs but {len(windows)} concurrency windows"
+            )
+    if any(window < 1 for window in windows):
+        raise ValueError(f"concurrency must be >= 1, got {windows}")
+    network = peps[0].network
     metrics = network.metrics
     started_at = network.now
     messages_before = metrics.messages_sent
-    samples_before = len(metrics.samples.get(QUEUE_LATENCY_SERIES, ()))
-    total = len(requests)
-    state = {
-        "next": 0,
-        "completed": 0,
-        "granted": 0,
-        "pumping": False,
-        "last_completion_at": started_at,
-    }
+    fleet_samples_before = metrics.sample_count(QUEUE_LATENCY_SERIES)
+    per_pep_samples_before = [
+        metrics.sample_count(pep_latency_series(pep.name)) for pep in peps
+    ]
+    shared = {"last_completion_at": started_at}
 
-    def on_complete(result) -> None:
-        state["completed"] += 1
-        if result.granted:
-            state["granted"] += 1
-        state["last_completion_at"] = network.now
-        pump()
+    def make_driver(pep, requests, window):
+        state = {
+            "pep": pep,
+            "next": 0,
+            "completed": 0,
+            "granted": 0,
+            "pumping": False,
+        }
 
-    def pump() -> None:
-        # Re-entrancy guard: a submission that completes synchronously
-        # (guard denial, cache hit) calls on_complete -> pump inside
-        # submit; the outer loop is already refilling the window.
-        if state["pumping"]:
-            return
-        state["pumping"] = True
-        try:
-            while (
-                state["next"] < total
-                and state["next"] - state["completed"] < concurrency
-            ):
-                request = requests[state["next"]]
-                state["next"] += 1
-                pep.submit(request, on_complete)
-        finally:
-            state["pumping"] = False
+        def on_complete(result) -> None:
+            state["completed"] += 1
+            if result.granted:
+                state["granted"] += 1
+            shared["last_completion_at"] = network.now
+            pump()
 
-    pump()
+        def pump() -> None:
+            # Same re-entrancy guard as the single-PEP driver: a
+            # synchronous completion inside submit must not recurse
+            # into the refill loop already running above it.
+            if state["pumping"]:
+                return
+            state["pumping"] = True
+            try:
+                while (
+                    state["next"] < len(requests)
+                    and state["next"] - state["completed"] < window
+                ):
+                    request = requests[state["next"]]
+                    state["next"] += 1
+                    pep.submit(request, on_complete)
+            finally:
+                state["pumping"] = False
+
+        state["pump"] = pump
+        return state
+
+    states = [
+        make_driver(pep, requests, window)
+        for pep, requests, window in zip(peps, requests_by_pep, windows)
+    ]
+    for state in states:
+        state["pump"]()
     network.run(until=started_at + horizon)
-    completed = state["completed"]
-    duration = max(state["last_completion_at"] - started_at, 1e-9)
-    messages_total = metrics.messages_sent - messages_before
-    latency = LatencyStats.from_samples(
-        metrics.samples.get(QUEUE_LATENCY_SERIES, [])[samples_before:]
+
+    per_pep = tuple(
+        PepLoadStats(
+            name=state["pep"].name,
+            submitted=state["next"],
+            completed=state["completed"],
+            granted=state["granted"],
+            denied=state["completed"] - state["granted"],
+            queue_latency=metrics.series_window(
+                pep_latency_series(state["pep"].name), samples_before
+            ),
+        )
+        for state, samples_before in zip(states, per_pep_samples_before)
     )
-    return ClosedLoopStats(
-        offered_concurrency=concurrency,
-        submitted=state["next"],
+    completed = sum(stats.completed for stats in per_pep)
+    duration = max(shared["last_completion_at"] - started_at, 1e-9)
+    messages_total = metrics.messages_sent - messages_before
+    fleet = ClosedLoopStats(
+        offered_concurrency=sum(windows),
+        submitted=sum(stats.submitted for stats in per_pep),
         completed=completed,
-        granted=state["granted"],
-        denied=completed - state["granted"],
+        granted=sum(stats.granted for stats in per_pep),
+        denied=sum(stats.denied for stats in per_pep),
         duration=duration,
         decisions_per_sec=completed / duration if completed else 0.0,
         messages_total=messages_total,
         messages_per_decision=(
             messages_total / completed if completed else float("inf")
         ),
-        queue_latency=latency,
+        queue_latency=metrics.series_window(
+            QUEUE_LATENCY_SERIES, fleet_samples_before
+        ),
     )
+    return MultiPepStats(fleet=fleet, per_pep=per_pep)

@@ -1,0 +1,163 @@
+"""Property tests: gateway aggregation never changes a decision.
+
+The domain decision gateway merges many PEPs' queue flushes into
+super-batches, dedups identical requests across PEPs and demultiplexes
+results back per PEP.  None of that may change *what* is decided: for
+any interleaving of submissions across PEPs — including a PDP replica
+crashing mid-run, so some super-batches fail over — every submission's
+outcome must equal the reference outcome of evaluating the same request
+directly against the same policies, and every callback must fire
+exactly once, on the PEP that submitted it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.components import (
+    DecisionDispatcher,
+    DomainDecisionGateway,
+    PdpConfig,
+    PepConfig,
+    PolicyAdministrationPoint,
+    PolicyDecisionPoint,
+    PolicyEnforcementPoint,
+)
+from repro.simnet import Network
+from repro.xacml import (
+    PdpEngine,
+    Policy,
+    PolicyStore,
+    RequestContext,
+    combining,
+    deny_rule,
+    permit_rule,
+    subject_resource_action_target,
+)
+
+PEP_COUNT = 3
+
+subjects = st.sampled_from(["alice", "bob", "carol"])
+resources = st.sampled_from(["doc-0", "doc-1", "doc-2", "doc-3"])
+actions = st.sampled_from(["read", "write"])
+
+submissions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=PEP_COUNT - 1),
+        subjects,
+        resources,
+        actions,
+        st.sampled_from([0.0, 0.0005, 0.002]),  # gap before the submission
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+def corpus():
+    return [
+        Policy(
+            policy_id="readers",
+            target=subject_resource_action_target(action_id="read"),
+            rules=(
+                deny_rule(
+                    "no-carol",
+                    target=subject_resource_action_target(subject_id="carol"),
+                ),
+                permit_rule("others"),
+            ),
+            rule_combining=combining.RULE_FIRST_APPLICABLE,
+        ),
+        Policy(
+            policy_id="writers",
+            target=subject_resource_action_target(action_id="write"),
+            rules=(
+                permit_rule(
+                    "alice-writes",
+                    target=subject_resource_action_target(
+                        subject_id="alice", resource_id="doc-0"
+                    ),
+                ),
+                deny_rule("rest"),
+            ),
+            rule_combining=combining.RULE_FIRST_APPLICABLE,
+        ),
+    ]
+
+
+def reference_decisions():
+    """Request identity -> decision, from a direct local engine."""
+    store = PolicyStore(indexed=True)
+    for policy in corpus():
+        store.add(policy)
+    engine = PdpEngine(store)
+    return engine
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=submissions, crash_after=st.integers(min_value=0, max_value=24))
+def test_gateway_equivalent_to_direct_evaluation(data, crash_after):
+    network = Network(seed=81)
+    pap = PolicyAdministrationPoint("pap", network)
+    for policy in corpus():
+        pap.publish(policy)
+    pdps = [
+        PolicyDecisionPoint(
+            f"pdp-{i}",
+            network,
+            pap_address="pap",
+            config=PdpConfig(
+                policy_cache_ttl=3600.0,
+                envelope_overhead=0.001,
+                decision_service_time=0.0002,
+            ),
+        )
+        for i in range(2)
+    ]
+    dispatcher = DecisionDispatcher([pdp.name for pdp in pdps])
+    gateway = DomainDecisionGateway(
+        "gateway", network, dispatcher, max_batch=6, max_delay=0.001
+    )
+    peps = []
+    for i in range(PEP_COUNT):
+        pep = PolicyEnforcementPoint(
+            f"pep-{i}", network, config=PepConfig(decision_cache_ttl=0.0)
+        )
+        pep.enable_batching(max_batch=3, max_delay=0.0005, gateway=gateway)
+        peps.append(pep)
+
+    engine = reference_decisions()
+    outcomes = []
+
+    def submit_one(pep_index, subject, resource, action):
+        request = RequestContext.simple(subject, resource, action)
+        expected = engine.evaluate(request).response.decision
+        record = {"pep": pep_index, "expected": expected, "results": []}
+        outcomes.append(record)
+        peps[pep_index].submit(request, record["results"].append)
+
+    crashed = False
+    for index, (pep_index, subject, resource, action, gap) in enumerate(data):
+        if index == crash_after and not crashed:
+            # Replica 0 dies mid-run: in-flight super-batches must fail
+            # over to replica 1 without losing or reordering waiters.
+            pdps[0].crash()
+            crashed = True
+        if gap:
+            network.run(until=network.now + gap)
+        submit_one(pep_index, subject, resource, action)
+    network.run(until=network.now + 30.0)
+
+    for record in outcomes:
+        assert len(record["results"]) == 1, "callback must fire exactly once"
+        result = record["results"][0]
+        # No fail-safe denials: a replica survived, so every request got
+        # a real decision equal to direct evaluation of the same policies.
+        assert result.source == "pdp"
+        assert result.decision == record["expected"]
+    # Demultiplexing went to the right PEPs: per-PEP counters add up.
+    for pep_index, pep in enumerate(peps):
+        mine = [r for r in outcomes if r["pep"] == pep_index]
+        assert pep.enforcements == len(mine)
+        granted = sum(
+            1 for r in mine if r["results"][0].granted
+        )
+        assert pep.grants == granted

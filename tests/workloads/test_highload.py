@@ -4,6 +4,7 @@ import pytest
 
 from repro.components import (
     DecisionDispatcher,
+    DomainDecisionGateway,
     PdpConfig,
     PepConfig,
     PolicyAdministrationPoint,
@@ -16,6 +17,7 @@ from repro.workloads import (
     access_requests,
     request_stream,
     run_closed_loop,
+    run_closed_loop_multi,
 )
 from repro.workloads.generator import AccessEvent
 from repro.xacml import Policy, RequestContext, combining, permit_rule
@@ -113,3 +115,104 @@ def test_rejects_non_positive_concurrency():
     network, pep = build_env()
     with pytest.raises(ValueError, match="concurrency"):
         run_closed_loop(pep, distinct_requests(2), concurrency=0)
+
+
+def build_domain_env(pep_count=3, gateway=True, service=True):
+    network = Network(seed=62)
+    pap = PolicyAdministrationPoint("pap", network)
+    pap.publish(
+        Policy(
+            policy_id="p",
+            rules=(permit_rule("everyone"),),
+            rule_combining=combining.RULE_FIRST_APPLICABLE,
+        )
+    )
+    config = PdpConfig(
+        envelope_overhead=0.001 if service else 0.0,
+        decision_service_time=0.0001 if service else 0.0,
+    )
+    pdps = [
+        PolicyDecisionPoint(f"pdp-{i}", network, pap_address="pap", config=config)
+        for i in range(2)
+    ]
+    hub = (
+        DomainDecisionGateway(
+            "gateway",
+            network,
+            DecisionDispatcher([p.name for p in pdps]),
+            max_batch=16,
+            max_delay=0.001,
+        )
+        if gateway
+        else None
+    )
+    peps = []
+    for i in range(pep_count):
+        pep = PolicyEnforcementPoint(
+            f"pep-{i}", network, config=PepConfig(decision_cache_ttl=0.0)
+        )
+        if hub is not None:
+            pep.enable_batching(max_batch=4, max_delay=0.001, gateway=hub)
+        else:
+            pep.enable_batching(
+                max_batch=4,
+                max_delay=0.001,
+                dispatcher=DecisionDispatcher([p.name for p in pdps]),
+            )
+        peps.append(pep)
+    return network, peps, hub
+
+
+class TestMultiPepDriver:
+    def test_completes_every_pep_sequence(self):
+        network, peps, hub = build_domain_env()
+        stats = run_closed_loop_multi(
+            peps, [distinct_requests(20) for _ in peps], concurrency=4
+        )
+        assert stats.fleet.offered_concurrency == 12
+        assert stats.fleet.submitted == 60
+        assert stats.fleet.completed == 60
+        assert stats.fleet.granted == 60
+        assert [s.completed for s in stats.per_pep] == [20, 20, 20]
+        assert all(s.queue_latency.count > 0 for s in stats.per_pep)
+        assert stats.fleet.decisions_per_sec > 0
+        assert hub.super_batches_sent > 0
+
+    def test_uneven_sequences_complete(self):
+        network, peps, hub = build_domain_env(pep_count=2)
+        stats = run_closed_loop_multi(
+            peps,
+            [distinct_requests(15), distinct_requests(3)],
+            concurrency=4,
+        )
+        assert [s.completed for s in stats.per_pep] == [15, 3]
+        assert stats.fleet.completed == 18
+
+    def test_works_without_gateway(self):
+        network, peps, hub = build_domain_env(gateway=False)
+        stats = run_closed_loop_multi(
+            peps, [distinct_requests(8) for _ in peps], concurrency=4
+        )
+        assert stats.fleet.completed == 24
+
+    def test_per_pep_latency_series_are_disjoint(self):
+        network, peps, hub = build_domain_env(pep_count=2)
+        stats = run_closed_loop_multi(
+            peps,
+            [distinct_requests(10), distinct_requests(10)],
+            concurrency=2,
+        )
+        total = sum(s.queue_latency.count for s in stats.per_pep)
+        assert total == stats.fleet.queue_latency.count == 20
+
+    def test_rejects_mismatched_sequences(self):
+        network, peps, hub = build_domain_env(pep_count=2)
+        with pytest.raises(ValueError, match="request sequences"):
+            run_closed_loop_multi(peps, [distinct_requests(2)], concurrency=1)
+        with pytest.raises(ValueError, match="concurrency"):
+            run_closed_loop_multi(
+                peps, [distinct_requests(2), distinct_requests(2)],
+                concurrency=0,
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            run_closed_loop_multi([], [], concurrency=1)
