@@ -1,0 +1,155 @@
+"""Gate CI on the benchmark trajectory: fail on >tolerance regressions.
+
+``collect.py`` writes the headline metrics of the smoke-dimension
+experiment pass (E15–E18) into ``BENCH_pr.json``; this script compares
+them against the committed ``BENCH_baseline.json`` and exits non-zero
+when any metric moved in its *bad* direction by more than the
+tolerance.  Direction is inferred from the metric name:
+
+* ``*_per_sec`` — throughput: lower is a regression;
+* ``*_per_decision``, ``*_ms``, ``*_s`` — cost/latency/staleness:
+  higher is a regression.
+
+The simulation is deterministic, so honest runs reproduce the baseline
+bit-for-bit; the 15 % default tolerance only leaves room for benign
+parameter-tuning drift inside a PR that re-baselines anyway.
+
+Metrics present in the baseline but missing from the current run fail
+the gate (a silently dropped experiment is a regression); new metrics
+only in the current run pass with a note (the PR should also refresh
+the baseline).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/collect.py --output BENCH_pr.json
+    python benchmarks/check_regression.py \
+        --baseline BENCH_baseline.json --current BENCH_pr.json
+
+Refreshing the committed baseline after an intentional change::
+
+    PYTHONPATH=src python benchmarks/collect.py --output BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Bad-direction threshold: relative change beyond which the gate fails.
+DEFAULT_TOLERANCE = 0.15
+
+#: Name suffixes whose metrics are better when *higher*.
+HIGHER_IS_BETTER_SUFFIXES = ("_per_sec",)
+
+
+def higher_is_better(metric: str) -> bool:
+    return metric.endswith(HIGHER_IS_BETTER_SUFFIXES)
+
+
+def relative_regression(metric: str, baseline: float, current: float) -> float:
+    """How far ``current`` moved in the metric's bad direction (>= 0).
+
+    Expressed relative to the baseline; 0.0 means no regression (moves
+    in the good direction clamp to zero).
+    """
+    if baseline == 0:
+        # A zero baseline cost metric that becomes non-zero is an
+        # infinite relative regression; a zero throughput baseline
+        # cannot regress further.
+        if higher_is_better(metric):
+            return 0.0
+        return float("inf") if current > 0 else 0.0
+    if higher_is_better(metric):
+        return max(0.0, (baseline - current) / baseline)
+    return max(0.0, (current - baseline) / baseline)
+
+
+def compare(
+    baseline: dict, current: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Returns (failures, notes) over the two headline dicts."""
+    failures, notes = [], []
+    for metric in sorted(baseline):
+        if metric not in current:
+            failures.append(
+                f"{metric}: present in baseline but missing from the "
+                "current run"
+            )
+            continue
+        before, after = float(baseline[metric]), float(current[metric])
+        moved = relative_regression(metric, before, after)
+        direction = "higher" if higher_is_better(metric) else "lower"
+        if moved > tolerance:
+            failures.append(
+                f"{metric}: {before} -> {after} "
+                f"({moved:+.1%} in the bad direction; {direction} is "
+                f"better, tolerance {tolerance:.0%})"
+            )
+        else:
+            notes.append(f"{metric}: {before} -> {after} (ok)")
+    for metric in sorted(set(current) - set(baseline)):
+        notes.append(
+            f"{metric}: new metric ({current[metric]}); refresh "
+            "BENCH_baseline.json to start gating it"
+        )
+    return failures, notes
+
+
+def load_headline(path: str) -> dict:
+    with open(path) as handle:
+        data = json.load(handle)
+    headline = data.get("headline")
+    if not isinstance(headline, dict) or not headline:
+        raise ValueError(f"{path} has no headline metrics")
+    return headline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_baseline.json",
+        help="committed baseline summary (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--current",
+        default="BENCH_pr.json",
+        help="freshly collected summary (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative bad-direction change that fails the gate "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    failures, notes = compare(
+        load_headline(args.baseline),
+        load_headline(args.current),
+        args.tolerance,
+    )
+    for note in notes:
+        print(f"  {note}")
+    if failures:
+        print(
+            f"\nbench-regression: {len(failures)} headline metric(s) "
+            f"regressed beyond {args.tolerance:.0%}:",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print(
+            "\nIf the change is intentional, refresh the baseline:\n"
+            "  PYTHONPATH=src python benchmarks/collect.py "
+            "--output BENCH_baseline.json",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench-regression: all headline metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,16 +1,20 @@
 """Collect the per-PR performance trajectory into ``BENCH_pr.json``.
 
-CI's ``bench-trajectory`` job runs this after the benchmark smoke pass
-and uploads the JSON as a workflow artifact, so every PR records where
-the three headline experiments stand:
+CI's ``bench-regression`` job runs this after the benchmark smoke pass,
+gates the build on it (``check_regression.py`` against the committed
+``BENCH_baseline.json``) and uploads the JSON as a workflow artifact,
+so every PR records where the headline experiments stand:
 
 * **E15** — revocation propagation: staleness window vs message cost;
 * **E16** — per-PEP batched fabric: decisions/s, msgs/decision;
-* **E17** — domain gateway vs the per-PEP baseline at equal load.
+* **E17** — domain gateway vs the per-PEP baseline at equal load;
+* **E18** — cross-domain federation vs per-PEP direct remote access.
 
 Runs everything in smoke dimensions (the module forces
 ``REPRO_BENCH_SMOKE=1`` before importing the benchmark modules, whose
 sweep constants are bound at import time), so one pass takes seconds.
+The simulation is deterministic, so the recorded numbers are stable
+across runs and machines — any drift is a real change.
 
 Usage::
 
@@ -118,25 +122,66 @@ def collect_e17() -> dict:
     }
 
 
+def collect_e18() -> dict:
+    """Federated vs per-PEP-direct cross-domain routing at equal load."""
+    import test_e18_federation as e18
+
+    configs = {}
+    for label, mode in (("direct", "direct"), ("federated", "federated")):
+        network, peps_by_domain, hubs = e18.build_vo(
+            domains=2, replicas=1, mode=mode
+        )
+        stats = e18.drive(network, peps_by_domain, remote_fraction=0.5)
+        configs[label] = {
+            "decisions_per_sec": round(stats.fleet.decisions_per_sec, 1),
+            "msgs_per_decision": round(
+                stats.fleet.messages_per_decision, 4
+            ),
+            "queue_p95_ms": round(
+                stats.fleet.queue_latency.p95 * 1000, 2
+            ),
+        }
+        if mode == "federated":
+            configs[label]["forwarded_batches"] = sum(
+                hub.forwarded_batches_sent for hub in hubs
+            )
+    return {
+        "description": "2 domains x 3 PEPs x 1 replica, remote fraction "
+        f"0.5 ({e18.EVENTS} requests/PEP)",
+        "configs": configs,
+    }
+
+
 def collect() -> dict:
     summary = {
-        "schema": 1,
+        "schema": 2,
         "revision": git_revision(),
         "smoke": True,
         "experiments": {
             "E15": collect_e15(),
             "E16": collect_e16(),
             "E17": collect_e17(),
+            "E18": collect_e18(),
         },
     }
     e16 = summary["experiments"]["E16"]["configs"]
     e17 = summary["experiments"]["E17"]["configs"]
+    e18 = summary["experiments"]["E18"]["configs"]
     # The headline trajectory numbers, hoisted for easy diffing per PR.
+    # check_regression.py gates CI on these: *_decisions_per_sec must
+    # not drop, *_msgs_per_decision and staleness must not rise, by
+    # more than its tolerance.
     summary["headline"] = {
         "fabric_decisions_per_sec": e16["fabric_b8_r2"]["decisions_per_sec"],
         "fabric_msgs_per_decision": e16["fabric_b8_r2"]["msgs_per_decision"],
         "gateway_decisions_per_sec": e17["gateway"]["decisions_per_sec"],
         "gateway_msgs_per_decision": e17["gateway"]["msgs_per_decision"],
+        "federation_decisions_per_sec": e18["federated"][
+            "decisions_per_sec"
+        ],
+        "federation_msgs_per_decision": e18["federated"][
+            "msgs_per_decision"
+        ],
         "push_staleness_s": summary["experiments"]["E15"]["strategies"][
             "push"
         ]["mean_staleness_s"],

@@ -10,7 +10,7 @@ costs per decision, and verifies the protections it buys.
 """
 
 from repro.bench import Experiment
-from repro.components import PdpConfig, PepConfig, RpcFault
+from repro.components import PdpConfig, PepConfig
 from repro.domain import AdministrativeDomain
 from repro.simnet import Network
 from repro.wss import KeyStore

@@ -175,7 +175,6 @@ def test_e14_identity_vs_role_policies(benchmark):
         assert identity_bytes > users * 100
     experiment.show()
 
-    big = policy_with = None
     benchmark(
         lambda: len(serialize_policy(
             Policy(

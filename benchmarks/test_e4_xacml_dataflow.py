@@ -18,7 +18,6 @@ from repro.xacml import (
     ObligationAssignment,
     Policy,
     SUBJECT_ROLE,
-    attribute_equals,
     combining,
     deny_rule,
     permit_rule,

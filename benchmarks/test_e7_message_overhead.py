@@ -10,8 +10,8 @@ overhead and verbosity of the language."
 
 from repro.bench import Experiment
 from repro.saml import XacmlAuthzDecisionQuery
-from repro.wss import CertificateAuthority, KeyStore, TrustValidator
-from repro.wsvc import SoapEnvelope, request_envelope, secure_envelope
+from repro.wss import CertificateAuthority, KeyStore
+from repro.wsvc import request_envelope, secure_envelope
 from repro.xacml import (
     Policy,
     RequestContext,

@@ -18,7 +18,6 @@ functionality": strangers.  This example walks the Traust-style flow:
 Run:  python examples/trust_negotiation.py
 """
 
-from repro.capability import CapabilityVerifier
 from repro.domain import (
     AdministrativeDomain,
     Credential,
@@ -90,7 +89,6 @@ def main() -> None:
     # The minted token is an ordinary signed SAML assertion the PEP can
     # validate against the provider's own trust anchors.
     assert token is not None
-    verifier = CapabilityVerifier(keystore, provider.validator)
     from repro.saml import validate_assertion
 
     assertion = validate_assertion(

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from ..xacml.policy import Policy, PolicySet, child_identifier
+from ..xacml.policy import Policy, PolicySet
 
 PolicyElement = Union[Policy, PolicySet]
 

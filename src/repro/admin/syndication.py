@@ -22,8 +22,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
-from ..components.base import Component, ComponentIdentity, RpcFault
-from ..components.pap import PolicyAdministrationPoint, serialize_bundle
+from ..components.base import Component, ComponentIdentity
+from ..components.pap import PolicyAdministrationPoint
 from ..simnet.message import Message
 from ..simnet.network import Network
 from ..xacml.parser import parse_policy

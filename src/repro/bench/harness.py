@@ -9,7 +9,7 @@ reproduction compare "paper shape" vs "measured shape" mechanically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 
 @dataclass

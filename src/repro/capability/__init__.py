@@ -17,7 +17,6 @@ from .tokens import (
     CapabilityEnforcer,
     CapabilityScope,
     CapabilityVerifier,
-    VerificationOutcome,
 )
 from .voms import (
     AC_LIFETIME,

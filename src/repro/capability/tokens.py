@@ -13,7 +13,7 @@ capability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..components.pep import EnforcementResult, PolicyEnforcementPoint

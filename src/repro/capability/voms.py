@@ -16,13 +16,12 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Optional
 
 from ..components.base import Component, ComponentIdentity, RpcFault
 from ..simnet.message import Message
 from ..simnet.network import Network
 from ..wss.keys import KeyStore
-from ..wss.pki import Certificate, CertificateError, TrustValidator
+from ..wss.pki import Certificate, TrustValidator
 from ..xacml.attributes import Attribute, Category, string
 from ..xacml.context import RequestContext
 

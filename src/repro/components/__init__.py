@@ -35,13 +35,22 @@ from .context_handler import (
     with_environment_time,
 )
 from .fabric import (
+    BatchWireCore,
     CoalescingDecisionQueue,
     DISPATCH_POLICIES,
     DecisionDispatcher,
     DomainDecisionGateway,
     QUEUE_LATENCY_SERIES,
     SUPER_BATCH_SERIES,
+    WireJob,
     pep_latency_series,
+)
+from .federation import (
+    DEFAULT_FORWARD_TTL,
+    FORWARD_ACTION,
+    FederatedGateway,
+    ForwardedBatchQuery,
+    SECURE_FORWARD_ACTION,
 )
 from .pap import (
     PolicyAdministrationPoint,
@@ -78,13 +87,20 @@ __all__ = [
     "AUDIT_OBLIGATION",
     "AttributeStore",
     "BATCH_QUERY_ACTION",
+    "BatchWireCore",
     "CacheStats",
     "CoalescingDecisionQueue",
+    "DEFAULT_FORWARD_TTL",
     "DISPATCH_POLICIES",
     "DecisionDispatcher",
     "DomainDecisionGateway",
+    "FORWARD_ACTION",
+    "FederatedGateway",
+    "ForwardedBatchQuery",
     "QUEUE_LATENCY_SERIES",
+    "SECURE_FORWARD_ACTION",
     "SUPER_BATCH_SERIES",
+    "WireJob",
     "pep_latency_series",
     "SECURE_BATCH_QUERY_ACTION",
     "ENCRYPT_RESPONSE_OBLIGATION",

@@ -16,7 +16,7 @@ stale-serve opportunities).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Generic, Hashable, Optional, TypeVar
 
 K = TypeVar("K", bound=Hashable)

@@ -10,15 +10,12 @@ and REST/HTTP requests — into canonical request contexts.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..wsvc.rest import HttpRequest, RestRouter, RouteDecision
 from ..wsvc.soap import SoapEnvelope
 from ..xacml.attributes import (
     Attribute,
-    AttributeValue,
     Category,
-    DataType,
     RESOURCE_DOMAIN,
     SUBJECT_DOMAIN,
     string,

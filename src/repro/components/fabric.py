@@ -8,6 +8,12 @@ path into a batched, load-balanced pipeline:
   next replica on :class:`~repro.components.base.RpcTimeout`, which
   makes E11-style replication an actual *throughput* mechanism rather
   than only an availability one;
+* :class:`BatchWireCore` — the shared wire machinery every batching
+  tier rides on: the in-flight map, timeout failover across replicas,
+  reply validation (batch id + statement count, plus the caller's
+  signature check) and fail-safe fan-out.  The per-PEP queue, the
+  domain gateway and the cross-domain federated gateway all delegate to
+  one core instead of carrying private copies;
 * :class:`CoalescingDecisionQueue` — accumulates a PEP's outbound
   decision requests and flushes them as one
   :class:`~repro.saml.xacml_profile.XacmlAuthzDecisionBatchQuery` when
@@ -21,6 +27,10 @@ path into a batched, load-balanced pipeline:
   each owning PEP's queue for per-PEP enforcement, and an optional
   fairness cap bounds one chatty PEP's share of any super-batch so its
   backlog cannot starve quieter peers.
+
+The cross-domain tier (:class:`~repro.components.federation.
+FederatedGateway`) extends the gateway with gateway→gateway forwarding
+for requests governed by other domains.
 
 The queue and gateway are fully event-driven: flushes *send* a message
 and return, and replies/timeouts are handled as ordinary inbound events,
@@ -199,15 +209,230 @@ class _PendingDecision:
     callbacks: list[CompletionCallback] = field(default_factory=list)
 
 
-@dataclass
-class _InflightBatch:
-    """One batch query on the wire, awaiting its reply or deadline."""
+# -- the shared wire core ----------------------------------------------------------
 
-    batch: object  # XacmlAuthzDecisionBatchQuery
-    entries: list[_PendingDecision]
+
+@dataclass
+class WireJob:
+    """How one class of envelopes travels: the core's variation points.
+
+    A tier configures a default job at construction; sends may override
+    it per envelope (the federated gateway uses that to aim the same
+    core at local replicas, peer gateways and remote replica sets).
+
+    Attributes:
+        select: pick the next destination given the already-tried list;
+            None means every candidate is exhausted (fail-safe).
+        build: turn the in-flight items into ``(action, payload,
+            batch)``; called once per transmit attempt so a failover
+            re-send gets a fresh envelope.
+        parse: turn a reply message from ``replica`` into an
+            :class:`XacmlAuthzDecisionBatchStatement`; the place to
+            enforce the tier's signature policy.
+        deliver: fan a validated statement list out to the items.
+        fail: fan one exception out to the items (fail-safe deny).
+        timeout: per-attempt reply deadline in simulated seconds.
+        dispatcher: optional dispatcher whose outstanding counters and
+            failover tally this job maintains.
+        on_sent: called with the items after each transmit attempt
+            (per-tier counters and sample series).
+    """
+
+    select: Callable[[Sequence[str]], Optional[str]]
+    build: Callable[[list], tuple]
+    parse: Callable[[Message, str], XacmlAuthzDecisionBatchStatement]
+    deliver: Callable[[list, Sequence], None]
+    fail: Callable[[list, Exception], None]
+    timeout: float
+    dispatcher: Optional[DecisionDispatcher] = None
+    on_sent: Optional[Callable[[list], None]] = None
+
+
+@dataclass
+class _InflightEnvelope:
+    """One batch envelope on the wire, awaiting its reply or deadline."""
+
+    batch: object  # anything with .batch_id
+    items: list
     replica: str
     tried: list[str]
     sent_at: float
+    job: WireJob
+
+    # The per-PEP tier calls its items entries; the gateway tiers call
+    # them slots.  Both views read the same list.
+    @property
+    def entries(self) -> list:
+        return self.items
+
+    @property
+    def slots(self) -> list:
+        return self.items
+
+
+class BatchWireCore:
+    """The shared in-flight/failover machinery of every batching tier.
+
+    Owns exactly the four duplicated pieces the tiers used to carry
+    privately: the in-flight map (msg_id → envelope), timeout failover
+    across replicas, reply validation (batch id and statement count on
+    top of the job's parse/signature step) and fail-safe fan-out on
+    faults, forged replies and replica exhaustion.
+
+    The core is deliberately policy-free: *what* travels, *where* it
+    may go and *how* results land stay with the owning tier through its
+    :class:`WireJob`.
+    """
+
+    def __init__(
+        self,
+        component: Component,
+        job: WireJob,
+        actions: Sequence[str] = (),
+        label: str = "wire",
+    ) -> None:
+        self.component = component
+        self.job = job
+        self.label = label
+        self._inflight: dict[int, _InflightEnvelope] = {}
+        self.envelopes_sent = 0
+        self.failovers = 0
+        for action in actions:
+            component.on(f"{action}:response", self.handle_reply)
+            component.on(f"{action}:fault", self.handle_fault)
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    # -- sending ------------------------------------------------------------------
+
+    def send(
+        self, items: list, tried: Sequence[str] = (), job: Optional[WireJob] = None
+    ) -> float:
+        """Put one envelope on the wire; returns its serialisation time.
+
+        The return value (message bytes over the egress link's
+        bandwidth) is what a paced drain waits before emitting the next
+        envelope.  When every destination is exhausted the items fail
+        safe immediately and 0.0 is returned.
+        """
+        job = job if job is not None else self.job
+        replica = job.select(tried)
+        if replica is None:
+            job.fail(
+                list(items),
+                RpcTimeout(
+                    self.component.name, "<none>", "no PDP reachable",
+                    self.component.now,
+                ),
+            )
+            return 0.0
+        return self._transmit(replica, list(items), list(tried), job)
+
+    def _transmit(
+        self, replica: str, items: list, tried: list[str], job: WireJob
+    ) -> float:
+        action, payload, batch = job.build(items)
+        message = Message(
+            sender=self.component.name,
+            recipient=replica,
+            kind=action,
+            payload=payload,
+        )
+        self._inflight[message.msg_id] = _InflightEnvelope(
+            batch=batch,
+            items=items,
+            replica=replica,
+            tried=tried + [replica],
+            sent_at=self.component.now,
+            job=job,
+        )
+        if job.dispatcher is not None:
+            job.dispatcher.note_sent(replica)
+        self.envelopes_sent += 1
+        if job.on_sent is not None:
+            job.on_sent(items)
+        self.component.node.send(message)
+        self.component.network.loop.schedule(
+            job.timeout,
+            lambda: self._check_timeout(message.msg_id),
+            label=f"{self.label}-timeout",
+        )
+        link = self.component.network.link_between(self.component.name, replica)
+        return message.size_bytes / link.bandwidth
+
+    # -- replies, faults, deadlines ----------------------------------------------
+
+    def _take_inflight(
+        self, reply_to: Optional[int]
+    ) -> Optional[_InflightEnvelope]:
+        if reply_to is None:
+            return None
+        inflight = self._inflight.pop(reply_to, None)
+        if inflight is not None and inflight.job.dispatcher is not None:
+            inflight.job.dispatcher.note_done(inflight.replica)
+        return inflight
+
+    def _check_timeout(self, msg_id: int) -> None:
+        inflight = self._take_inflight(msg_id)
+        if inflight is None:
+            return  # answered in time (or already failed over)
+        job = inflight.job
+        replica = job.select(inflight.tried)
+        if replica is None:
+            job.fail(
+                inflight.items,
+                RpcTimeout(
+                    self.component.name,
+                    inflight.replica,
+                    "batch decision query",
+                    self.component.now,
+                ),
+            )
+            return
+        self.failovers += 1
+        if job.dispatcher is not None:
+            job.dispatcher.failovers += 1
+        self._transmit(replica, inflight.items, inflight.tried, job)
+
+    def handle_reply(self, message: Message) -> None:
+        inflight = self._take_inflight(message.reply_to)
+        if inflight is None:
+            return None  # late reply after a timeout-triggered failover
+        job = inflight.job
+        try:
+            statement_batch = job.parse(message, inflight.replica)
+            if statement_batch.in_response_to != inflight.batch.batch_id:
+                raise ValueError(
+                    f"reply answers {statement_batch.in_response_to!r}, "
+                    f"expected {inflight.batch.batch_id!r}"
+                )
+            if len(statement_batch.statements) != len(inflight.items):
+                raise ValueError(
+                    f"reply has {len(statement_batch.statements)} statements "
+                    f"for {len(inflight.items)} requests"
+                )
+        except Exception as exc:  # malformed/forged reply: fail safe
+            job.fail(inflight.items, exc)
+            return None
+        job.deliver(inflight.items, statement_batch.statements)
+        return None
+
+    def handle_fault(self, message: Message) -> None:
+        inflight = self._take_inflight(message.reply_to)
+        if inflight is None:
+            return None
+        code, reason = _parse_fault(str(message.payload))
+        # A fault is an answer, not a crash: no failover, fail-safe deny.
+        inflight.job.fail(inflight.items, RpcFault(code, reason))
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchWireCore({self.component.name}, label={self.label}, "
+            f"inflight={len(self._inflight)})"
+        )
 
 
 class CoalescingDecisionQueue:
@@ -253,7 +478,6 @@ class CoalescingDecisionQueue:
         #: even inside shared (gateway-tier) bookkeeping.
         self._scope = (pep.domain, pep.name)
         self._pending: dict[tuple, _PendingDecision] = {}
-        self._inflight: dict[int, _InflightBatch] = {}
         #: scoped key -> entry for every request currently on the wire,
         #: so in-flight dedup is O(1) rather than a scan per submission.
         self._inflight_keys: dict[tuple, _PendingDecision] = {}
@@ -263,11 +487,22 @@ class CoalescingDecisionQueue:
         self.batches_sent = 0
         self.flushes_on_size = 0
         self.flushes_on_delay = 0
-        self.failovers = 0
         self.completions = 0
-        for action in (BATCH_QUERY_ACTION, SECURE_BATCH_QUERY_ACTION):
-            pep.on(f"{action}:response", self._handle_reply)
-            pep.on(f"{action}:fault", self._handle_fault)
+        self._wire = BatchWireCore(
+            pep,
+            WireJob(
+                select=self._select_replica,
+                build=self._build_envelope,
+                parse=self._parse_envelope_reply,
+                deliver=self._deliver_entries,
+                fail=self._fail_batch,
+                timeout=pep.config.pdp_timeout,
+                dispatcher=dispatcher,
+                on_sent=self._note_batch_sent,
+            ),
+            actions=(BATCH_QUERY_ACTION, SECURE_BATCH_QUERY_ACTION),
+            label="fabric",
+        )
         if gateway is not None:
             gateway.register(self)
 
@@ -280,8 +515,16 @@ class CoalescingDecisionQueue:
         return len(self._pending)
 
     @property
+    def _inflight(self) -> dict[int, _InflightEnvelope]:
+        return self._wire._inflight
+
+    @property
     def inflight_count(self) -> int:
-        return len(self._inflight)
+        return self._wire.inflight_count
+
+    @property
+    def failovers(self) -> int:
+        return self._wire.failovers
 
     # -- submission --------------------------------------------------------------
 
@@ -349,110 +592,42 @@ class CoalescingDecisionQueue:
             return
         entries = list(self._pending.values())
         self._pending.clear()
+        for entry in entries:  # stays put until completion/failure
+            self._inflight_keys[entry.key] = entry
         if self.gateway is not None:
             # No envelope leaves this queue: the gateway owns the wire
             # (its super_batches_sent counts envelopes; this queue's
             # batches_sent stays a wire-traffic counter and is not
             # incremented for hand-offs).
-            for entry in entries:
-                self._inflight_keys[entry.key] = entry
             self.gateway.ingest(self, entries)
             return
-        self._send(entries, tried=[])
+        self._wire.send(entries)
 
-    # -- the wire ----------------------------------------------------------------
+    # -- the wire (BatchWireCore variation points) --------------------------------
 
-    def _send(self, entries: list[_PendingDecision], tried: list[str]) -> None:
+    def _select_replica(self, exclude: Sequence[str]) -> Optional[str]:
         if self.dispatcher is not None:
-            replica = self.dispatcher.select(exclude=tried)
-        elif tried:
-            replica = None  # no dispatcher: a timeout has nowhere to go
-        else:
-            replica = self.pep._choose_pdp()
-        if replica is None:
-            self._fail_batch(
-                entries,
-                RpcTimeout(
-                    self.pep.name, "<none>", "no PDP reachable", self.pep.now
-                ),
-            )
-            return
-        action, payload, batch = self.pep._build_batch_query(
+            return self.dispatcher.select(exclude=exclude)
+        if exclude:
+            return None  # no dispatcher: a timeout has nowhere to go
+        return self.pep._choose_pdp()
+
+    def _build_envelope(self, entries: list) -> tuple:
+        return self.pep._build_batch_query(
             [entry.request for entry in entries]
         )
-        message = Message(
-            sender=self.pep.name, recipient=replica, kind=action, payload=payload
-        )
-        self._inflight[message.msg_id] = _InflightBatch(
-            batch=batch,
-            entries=entries,
-            replica=replica,
-            tried=tried + [replica],
-            sent_at=self.pep.now,
-        )
-        for entry in entries:  # idempotent across failover resends
-            self._inflight_keys[entry.key] = entry
-        if self.dispatcher is not None:
-            self.dispatcher.note_sent(replica)
+
+    def _parse_envelope_reply(
+        self, message: Message, replica: str
+    ) -> XacmlAuthzDecisionBatchStatement:
+        return self.pep._parse_batch_reply(message, replica)
+
+    def _note_batch_sent(self, entries: list) -> None:
         self.batches_sent += 1
-        self.pep.node.send(message)
-        self.pep.network.loop.schedule(
-            self.pep.config.pdp_timeout,
-            lambda: self._check_timeout(message.msg_id),
-            label="fabric-timeout",
-        )
 
-    def _take_inflight(self, reply_to: Optional[int]) -> Optional[_InflightBatch]:
-        if reply_to is None:
-            return None
-        inflight = self._inflight.pop(reply_to, None)
-        if inflight is not None and self.dispatcher is not None:
-            self.dispatcher.note_done(inflight.replica)
-        return inflight
-
-    def _check_timeout(self, msg_id: int) -> None:
-        inflight = self._take_inflight(msg_id)
-        if inflight is None:
-            return  # answered in time (or already failed over)
-        if self.dispatcher is not None:
-            self.failovers += 1
-            self.dispatcher.failovers += 1
-            self._send(inflight.entries, tried=inflight.tried)
-            return
-        self._fail_batch(
-            inflight.entries,
-            RpcTimeout(
-                self.pep.name,
-                inflight.replica,
-                "batch decision query",
-                self.pep.now,
-            ),
-        )
-
-    def _handle_reply(self, message: Message) -> None:
-        inflight = self._take_inflight(message.reply_to)
-        if inflight is None:
-            return None  # late reply after a timeout-triggered failover
-        try:
-            statement_batch = self.pep._parse_batch_reply(
-                message, inflight.replica
-            )
-            if statement_batch.in_response_to != inflight.batch.batch_id:
-                raise ValueError(
-                    f"reply answers {statement_batch.in_response_to!r}, "
-                    f"expected {inflight.batch.batch_id!r}"
-                )
-            if len(statement_batch.statements) != len(inflight.entries):
-                raise ValueError(
-                    f"reply has {len(statement_batch.statements)} statements "
-                    f"for {len(inflight.entries)} requests"
-                )
-        except Exception as exc:  # malformed/forged reply: fail safe
-            self._fail_batch(inflight.entries, exc)
-            return None
-        for entry, statement in zip(inflight.entries, statement_batch.statements):
+    def _deliver_entries(self, entries: list, statements: Sequence) -> None:
+        for entry, statement in zip(entries, statements):
             self._complete_entry(entry, statement)
-        return None
 
     # -- per-entry completion (driven locally or by the gateway) -----------------
 
@@ -491,15 +666,6 @@ class CoalescingDecisionQueue:
             self.completions += 1
             callback(result)
 
-    def _handle_fault(self, message: Message) -> None:
-        inflight = self._take_inflight(message.reply_to)
-        if inflight is None:
-            return None
-        code, reason = _parse_fault(str(message.payload))
-        # A fault is an answer, not a crash: no failover, fail-safe deny.
-        self._fail_batch(inflight.entries, RpcFault(code, reason))
-        return None
-
     def _fail_batch(
         self, entries: list[_PendingDecision], exc: Exception
     ) -> None:
@@ -517,7 +683,7 @@ class CoalescingDecisionQueue:
         return (
             f"CoalescingDecisionQueue(pep={self.pep.name}, "
             f"max_batch={self.max_batch}, pending={len(self._pending)}, "
-            f"inflight={len(self._inflight)})"
+            f"inflight={self.inflight_count})"
         )
 
 
@@ -534,17 +700,6 @@ class _WireSlot:
     cache_key: tuple
     owner: str  # name of the PEP whose flush first contributed the slot
     entries: list[_PendingDecision] = field(default_factory=list)
-
-
-@dataclass
-class _InflightSuperBatch:
-    """One super-batch envelope on the wire, awaiting reply or deadline."""
-
-    batch: XacmlAuthzDecisionBatchQuery
-    slots: list[_WireSlot]
-    replica: str
-    tried: list[str]
-    sent_at: float
 
 
 class DomainDecisionGateway(Component):
@@ -568,6 +723,8 @@ class DomainDecisionGateway(Component):
       delay for everyone else;
     * **failover** — like the per-PEP queue, a timed-out super-batch is
       re-sent to the next replica; faults are answers and fail safe.
+      Both behaviours come from the shared :class:`BatchWireCore`, not
+      a private copy.
 
     The PEP→gateway hand-off is an intra-domain call (the gateway is
     the domain's local aggregation sidecar); only gateway→PDP traffic
@@ -634,7 +791,6 @@ class DomainDecisionGateway(Component):
         self._backlog: dict[str, deque[_WireSlot]] = {}
         self._pending_slots: dict[tuple, _WireSlot] = {}
         self._inflight_slots: dict[tuple, _WireSlot] = {}
-        self._inflight: dict[int, _InflightSuperBatch] = {}
         self._flush_handle: Optional[EventHandle] = None
         self._drain_handle: Optional[EventHandle] = None
         self._rr_start = 0
@@ -645,11 +801,22 @@ class DomainDecisionGateway(Component):
         self.flushes_on_size = 0
         self.flushes_on_delay = 0
         self.fairness_deferrals = 0
-        self.failovers = 0
         self.decisions_delivered = 0
-        for action in (BATCH_QUERY_ACTION, SECURE_BATCH_QUERY_ACTION):
-            self.on(f"{action}:response", self._handle_reply)
-            self.on(f"{action}:fault", self._handle_fault)
+        self._wire = BatchWireCore(
+            self,
+            WireJob(
+                select=self._select_replica,
+                build=self._build_super_batch,
+                parse=self._parse_super_reply,
+                deliver=self._deliver_slots,
+                fail=self._fail_slots,
+                timeout=pdp_timeout,
+                dispatcher=dispatcher,
+                on_sent=self._note_super_batch,
+            ),
+            actions=(BATCH_QUERY_ACTION, SECURE_BATCH_QUERY_ACTION),
+            label="gateway",
+        )
 
     # -- registration -------------------------------------------------------------
 
@@ -670,8 +837,16 @@ class DomainDecisionGateway(Component):
         return len(self._pending_slots)
 
     @property
+    def _inflight(self) -> dict[int, _InflightEnvelope]:
+        return self._wire._inflight
+
+    @property
     def inflight_count(self) -> int:
-        return len(self._inflight)
+        return self._wire.inflight_count
+
+    @property
+    def failovers(self) -> int:
+        return self._wire.failovers
 
     # -- ingestion ----------------------------------------------------------------
 
@@ -742,11 +917,24 @@ class DomainDecisionGateway(Component):
         self._drain_handle = None
         if not self._pending_slots:
             return
-        tx_time = self._send(self._take_super_batch(), tried=[])
+        slots = self._take_super_batch()
+        for slot in slots:  # stays put until completion/failure
+            self._inflight_slots[slot.cache_key] = slot
+        tx_time = self._dispatch_slots(slots)
         if self._pending_slots:
             self._drain_handle = self.network.loop.schedule(
                 tx_time, self._drain_step, label="gateway-drain"
             )
+
+    def _dispatch_slots(self, slots: list[_WireSlot]) -> float:
+        """Put one drawn super-batch on the wire; returns its tx time.
+
+        The federated gateway overrides this to classify slots by
+        governing domain first (local PDP tier vs gateway→gateway
+        forwarding); the base gateway sends everything to the local
+        replica set.
+        """
+        return self._wire.send(slots)
 
     def _take_super_batch(self) -> list[_WireSlot]:
         """Draw the next super-batch fairly from the per-PEP backlogs.
@@ -791,7 +979,10 @@ class DomainDecisionGateway(Component):
         )
         return taken
 
-    # -- the wire -----------------------------------------------------------------
+    # -- the wire (BatchWireCore variation points) ---------------------------------
+
+    def _select_replica(self, exclude: Sequence[str]) -> Optional[str]:
+        return self.dispatcher.select(exclude=exclude)
 
     def _secure_payload(self, action: str, body_xml: str) -> SoapEnvelope:
         if self.identity is None:
@@ -806,28 +997,12 @@ class DomainDecisionGateway(Component):
             self.identity.keystore,
         )
 
-    def _send(self, slots: list[_WireSlot], tried: list[str]) -> float:
-        """Put one super-batch on the wire; returns its serialisation time.
-
-        The return value (message bytes over the egress link's
-        bandwidth) is what the paced drain waits before emitting the
-        next envelope.
-        """
-        if not slots:
-            return 0.0
-        replica = self.dispatcher.select(exclude=tried)
-        if replica is None:
-            self._fail_slots(
-                slots,
-                RpcTimeout(
-                    self.name, "<none>", "no PDP reachable", self.now
-                ),
-            )
-            return 0.0
+    def _build_batch_query(
+        self, requests: list[RequestContext]
+    ) -> tuple[str, object, XacmlAuthzDecisionBatchQuery]:
+        """The (action, payload, batch) triple for one PDP-bound envelope."""
         batch = XacmlAuthzDecisionBatchQuery.for_requests(
-            [slot.request for slot in slots],
-            issuer=self.name,
-            issue_instant=self.now,
+            requests, issuer=self.name, issue_instant=self.now
         )
         if self.secure_channel:
             action = SECURE_BATCH_QUERY_ACTION
@@ -835,52 +1010,19 @@ class DomainDecisionGateway(Component):
         else:
             action = BATCH_QUERY_ACTION
             payload = batch.to_xml()
-        message = Message(
-            sender=self.name, recipient=replica, kind=action, payload=payload
-        )
-        self._inflight[message.msg_id] = _InflightSuperBatch(
-            batch=batch,
-            slots=slots,
-            replica=replica,
-            tried=tried + [replica],
-            sent_at=self.now,
-        )
-        for slot in slots:  # idempotent across failover resends
-            self._inflight_slots[slot.cache_key] = slot
-        self.dispatcher.note_sent(replica)
+        return action, payload, batch
+
+    def _build_super_batch(self, slots: list[_WireSlot]) -> tuple:
+        return self._build_batch_query([slot.request for slot in slots])
+
+    def _note_super_batch(self, slots: list[_WireSlot]) -> None:
         self.super_batches_sent += 1
         self.network.metrics.record_sample(SUPER_BATCH_SERIES, len(slots))
-        self.node.send(message)
-        self.network.loop.schedule(
-            self.pdp_timeout,
-            lambda: self._check_timeout(message.msg_id),
-            label="gateway-timeout",
-        )
-        link = self.network.link_between(self.name, replica)
-        return message.size_bytes / link.bandwidth
 
-    def _take_inflight(
-        self, reply_to: Optional[int]
-    ) -> Optional[_InflightSuperBatch]:
-        if reply_to is None:
-            return None
-        inflight = self._inflight.pop(reply_to, None)
-        if inflight is not None:
-            self.dispatcher.note_done(inflight.replica)
-        return inflight
-
-    def _check_timeout(self, msg_id: int) -> None:
-        inflight = self._take_inflight(msg_id)
-        if inflight is None:
-            return  # answered in time (or already failed over)
-        self.failovers += 1
-        self.dispatcher.failovers += 1
-        self._send(inflight.slots, tried=inflight.tried)
-
-    def _verify_reply_body(self, reply: Message, replica: str) -> str:
+    def _verify_reply_body(self, reply: Message, signer: str) -> str:
         envelope = reply.payload
         if not isinstance(envelope, SoapEnvelope):
-            raise RpcFault("gateway:bad-reply", "PDP returned non-SOAP payload")
+            raise RpcFault("gateway:bad-reply", "peer returned non-SOAP payload")
         clear = verify_envelope(
             envelope,
             self.identity.keystore,
@@ -889,51 +1031,28 @@ class DomainDecisionGateway(Component):
             config=SecurityConfig(require_signature=True),
             at=self.now,
         )
-        if signer_of(clear) != replica:
+        if signer_of(clear) != signer:
             raise WsSecurityError(
                 f"decision signed by {signer_of(clear)!r}, "
-                f"expected {replica!r}"
+                f"expected {signer!r}"
             )
         return clear.body_xml
 
-    def _handle_reply(self, message: Message) -> None:
-        inflight = self._take_inflight(message.reply_to)
-        if inflight is None:
-            return None  # late reply after a timeout-triggered failover
-        try:
-            if self.secure_channel:
-                body = self._verify_reply_body(message, inflight.replica)
-            else:
-                body = str(message.payload)
-            statement_batch = XacmlAuthzDecisionBatchStatement.from_xml(body)
-            if statement_batch.in_response_to != inflight.batch.batch_id:
-                raise ValueError(
-                    f"reply answers {statement_batch.in_response_to!r}, "
-                    f"expected {inflight.batch.batch_id!r}"
-                )
-            if len(statement_batch.statements) != len(inflight.slots):
-                raise ValueError(
-                    f"reply has {len(statement_batch.statements)} statements "
-                    f"for {len(inflight.slots)} slots"
-                )
-        except Exception as exc:  # malformed/forged reply: fail safe
-            self._fail_slots(inflight.slots, exc)
-            return None
-        for slot, statement in zip(inflight.slots, statement_batch.statements):
+    def _parse_super_reply(
+        self, message: Message, replica: str
+    ) -> XacmlAuthzDecisionBatchStatement:
+        if self.secure_channel:
+            body = self._verify_reply_body(message, replica)
+        else:
+            body = str(message.payload)
+        return XacmlAuthzDecisionBatchStatement.from_xml(body)
+
+    def _deliver_slots(self, slots: list[_WireSlot], statements: Sequence) -> None:
+        for slot, statement in zip(slots, statements):
             self._inflight_slots.pop(slot.cache_key, None)
             for entry in slot.entries:
                 self.decisions_delivered += 1
                 entry.owner._complete_entry(entry, statement)
-        return None
-
-    def _handle_fault(self, message: Message) -> None:
-        inflight = self._take_inflight(message.reply_to)
-        if inflight is None:
-            return None
-        code, reason = _parse_fault(str(message.payload))
-        # A fault is an answer, not a crash: no failover, fail-safe deny.
-        self._fail_slots(inflight.slots, RpcFault(code, reason))
-        return None
 
     def _fail_slots(self, slots: list[_WireSlot], exc: Exception) -> None:
         for slot in slots:
@@ -945,5 +1064,5 @@ class DomainDecisionGateway(Component):
         return (
             f"DomainDecisionGateway({self.name}, "
             f"peps={len(self._queues)}, pending={len(self._pending_slots)}, "
-            f"inflight={len(self._inflight)})"
+            f"inflight={self.inflight_count})"
         )

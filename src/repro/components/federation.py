@@ -1,0 +1,659 @@
+"""Cross-domain gateway federation: gateway→gateway decision forwarding.
+
+The paper's subject is *multi-domain* access control, yet a
+:class:`~repro.components.fabric.DomainDecisionGateway` only serves its
+own domain: every decision a PEP obtains terminates at the local PDP
+tier.  This module adds the missing cross-domain path.  A
+:class:`FederatedGateway` classifies each drawn super-batch slot by the
+domain that *governs* its resource (via a resolver backed by the
+VO-wide resource directory, see :mod:`repro.domain.directory`):
+
+* **local** slots travel to the domain's own replica set exactly as
+  before;
+* **remote** slots for a registered peer domain are merged into one
+  :class:`ForwardedBatchQuery` per target domain and forwarded
+  gateway→gateway over the existing signed envelope profile — one
+  WS-Security signature per forwarded envelope, a TTL header cutting
+  forwarding loops, and per-origin demultiplexing of the returned
+  statements back through each contributing PEP's queue;
+* slots for an *unknown* domain, and remote batches whose peer gateway
+  is unreachable or answers with a fault, fall **fail-safe**: every
+  waiter is denied and a ``federation.*`` metric counter records why.
+
+The serving side accepts forwarded batches only from registered origin
+domains (trust-edge-checked at registration time, see
+:func:`repro.domain.federation.federate_gateways`) and, on the secure
+channel, only when the envelope is signed by that origin's registered
+gateway.  Served requests that turn out to be governed by yet another
+domain are forwarded onward with a decremented TTL, so a misconfigured
+directory produces a bounded forwarding chain ending in an
+Indeterminate fail-safe statement instead of a loop.
+
+All wire behaviour — the in-flight map, timeout failover, reply
+validation, fail-safe fan-out — comes from the shared
+:class:`~repro.components.fabric.BatchWireCore`; federation only adds
+classification, the forwarded-envelope profile and the origin checks.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+from xml.sax.saxutils import quoteattr
+
+from ..saml.xacml_profile import (
+    XacmlAuthzDecisionBatchQuery,
+    XacmlAuthzDecisionBatchStatement,
+    XacmlAuthzDecisionQuery,
+    XacmlAuthzDecisionStatement,
+)
+from ..simnet.message import Message
+from ..wsvc.soap import SoapEnvelope
+from ..wsvc.ws_security import (
+    SecurityConfig,
+    WsSecurityError,
+    signer_of,
+    verify_envelope,
+)
+from ..xacml.context import (
+    Decision,
+    RequestContext,
+    ResponseContext,
+    Status,
+    StatusCode,
+)
+from ..xmlutil import parse_attrs
+from .base import RpcFault
+from .fabric import (
+    DecisionDispatcher,
+    DomainDecisionGateway,
+    WireJob,
+    _WireSlot,
+)
+
+#: Gateway→gateway forwarded decision traffic.
+FORWARD_ACTION = "xacml.request.forward"
+SECURE_FORWARD_ACTION = "xacml.request.forward.secure"
+
+#: Default maximum number of gateway hops a forwarded batch may take.
+DEFAULT_FORWARD_TTL = 3
+
+#: Resolves the domain governing one request's resource (None = local).
+DomainResolver = Callable[[RequestContext], Optional[str]]
+
+
+@dataclass(frozen=True)
+class ForwardedBatchQuery:
+    """A batch decision query in transit between two domain gateways.
+
+    Wraps the ordinary batch query with the federation headers: which
+    domain (and which gateway, for signature pinning) originated it,
+    and how many further gateway hops it may take.  The reply is a
+    plain :class:`XacmlAuthzDecisionBatchStatement` answering the inner
+    batch id, statements in query order.
+    """
+
+    batch: XacmlAuthzDecisionBatchQuery
+    origin_domain: str
+    origin_gateway: str
+    ttl: int = DEFAULT_FORWARD_TTL
+
+    def __post_init__(self) -> None:
+        if self.ttl < 1:
+            raise ValueError(f"forward TTL must be >= 1, got {self.ttl}")
+
+    def to_xml(self) -> str:
+        return (
+            f"<fed:ForwardedBatchQuery "
+            f"OriginDomain={quoteattr(self.origin_domain)} "
+            f"OriginGateway={quoteattr(self.origin_gateway)} "
+            f'TTL="{self.ttl}">'
+            f"{self.batch.to_xml()}"
+            f"</fed:ForwardedBatchQuery>"
+        )
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.to_xml().encode("utf-8"))
+
+    @classmethod
+    def from_xml(cls, xml_text: str) -> "ForwardedBatchQuery":
+        match = re.match(
+            r"<fed:ForwardedBatchQuery ([^>]*)>(.*)"
+            r"</fed:ForwardedBatchQuery>$",
+            xml_text,
+            re.DOTALL,
+        )
+        if match is None:
+            raise ValueError("not a ForwardedBatchQuery")
+        attrs = parse_attrs(match.group(1))
+        for required in ("OriginDomain", "OriginGateway", "TTL"):
+            if required not in attrs:
+                raise ValueError(f"ForwardedBatchQuery missing {required}")
+        return cls(
+            batch=XacmlAuthzDecisionBatchQuery.from_xml(match.group(2)),
+            origin_domain=attrs["OriginDomain"],
+            origin_gateway=attrs["OriginGateway"],
+            ttl=int(attrs["TTL"]),
+        )
+
+
+@dataclass
+class _ServicePart:
+    """One request of a forwarded batch being served at this gateway."""
+
+    context: "_ServiceContext"
+    index: int
+    request: RequestContext
+
+
+class _ServiceContext:
+    """Gathers the answers to one inbound forwarded batch.
+
+    The batch's requests may split across the local PDP tier, onward
+    forwards (directory says another domain governs them) and immediate
+    fail-safe statements (TTL exhausted, unknown domain).  The context
+    holds the statement array in query order and replies to the origin
+    gateway once every group has landed.
+    """
+
+    def __init__(
+        self, gateway: "FederatedGateway", message: Message, fwd: ForwardedBatchQuery
+    ) -> None:
+        self.gateway = gateway
+        self.message = message
+        self.fwd = fwd
+        self.statements: list = [None] * len(fwd.batch.queries)
+        self.outstanding = 0
+        self.replied = False
+
+    def start(self) -> None:
+        gateway = self.gateway
+        local_parts: list[_ServicePart] = []
+        onward: dict[str, list[_ServicePart]] = {}
+        for index, query in enumerate(self.fwd.batch.queries):
+            governing = gateway._governing_domain(query.request)
+            if governing == gateway.domain:
+                local_parts.append(_ServicePart(self, index, query.request))
+            elif governing in gateway._peers and self.fwd.ttl > 1:
+                onward.setdefault(governing, []).append(
+                    _ServicePart(self, index, query.request)
+                )
+            elif governing in gateway._peers:
+                gateway.ttl_denials += 1
+                gateway.network.metrics.bump("federation.ttl_expired")
+                self.statements[index] = gateway._indeterminate_statement(
+                    query, f"forward TTL exhausted at {gateway.domain!r}"
+                )
+            else:
+                gateway.unknown_domain_denials += 1
+                gateway.network.metrics.bump("federation.unknown_domain")
+                self.statements[index] = gateway._indeterminate_statement(
+                    query, f"no route to domain {governing!r}"
+                )
+        groups: list[tuple[Optional[str], list[_ServicePart]]] = []
+        if local_parts:
+            groups.append((None, local_parts))
+        groups.extend(sorted(onward.items()))
+        self.outstanding = len(groups)
+        for target, parts in groups:
+            if target is None:
+                gateway._wire.send(
+                    parts, job=gateway._service_job(self._deliver, self._fail)
+                )
+            else:
+                gateway._wire.send(
+                    parts,
+                    job=gateway._forward_job(
+                        target,
+                        ttl=self.fwd.ttl - 1,
+                        deliver=self._deliver,
+                        fail=self._fail,
+                    ),
+                )
+        if not groups:
+            self._maybe_reply()
+
+    # -- group completion ---------------------------------------------------------
+
+    def _deliver(self, parts: list[_ServicePart], statements: Sequence) -> None:
+        for part, statement in zip(parts, statements):
+            self.statements[part.index] = statement
+        self._complete_group()
+
+    def _fail(self, parts: list[_ServicePart], exc: Exception) -> None:
+        gateway = self.gateway
+        for part in parts:
+            query = self.fwd.batch.queries[part.index]
+            self.statements[part.index] = gateway._indeterminate_statement(
+                query, f"fail-safe deny: {exc}"
+            )
+        self._complete_group()
+
+    def _complete_group(self) -> None:
+        self.outstanding -= 1
+        self._maybe_reply()
+
+    def _maybe_reply(self) -> None:
+        if self.replied or self.outstanding > 0:
+            return
+        self.replied = True
+        gateway = self.gateway
+        answer = XacmlAuthzDecisionBatchStatement(
+            statements=tuple(self.statements),
+            in_response_to=self.fwd.batch.batch_id,
+            issuer=gateway.name,
+            issue_instant=gateway.now,
+        )
+        if self.message.kind == SECURE_FORWARD_ACTION:
+            payload: object = gateway._secure_payload(
+                f"{self.message.kind}:result", answer.to_xml()
+            )
+        else:
+            payload = answer.to_xml()
+        gateway.forwarded_decisions_returned += len(self.statements)
+        gateway.node.send(
+            self.message.reply(
+                kind=f"{self.message.kind}:response", payload=payload
+            )
+        )
+
+
+class FederatedGateway(DomainDecisionGateway):
+    """A domain gateway that also routes decisions *between* domains.
+
+    On top of the aggregation tier it inherits, the federated gateway:
+
+    * classifies every drawn slot by governing domain (``resolve_domain``,
+      usually :meth:`repro.domain.directory.ResourceDirectory.resolver`);
+    * forwards remote-domain slot groups to the registered peer
+      gateway of that domain (:meth:`add_peer`) as one signed
+      :class:`ForwardedBatchQuery` envelope, demultiplexing the
+      returned statements back through the owning PEP queues;
+    * optionally routes remote groups straight at a remote replica set
+      (:meth:`add_direct_route`) — the naive per-PEP-direct baseline
+      experiment E18 measures federation against;
+    * serves forwarded batches from registered origins
+      (:meth:`allow_origin`), re-forwarding onward-governed requests
+      with a decremented TTL and failing safe on exhaustion;
+    * denies (fail-safe, with a metric) anything whose governing domain
+      has neither a peer nor a direct route, and everything riding an
+      envelope whose peer is unreachable or rejected.
+
+    Remote slots are not forwarded the instant a drain step classifies
+    them: they accumulate in a per-target-domain buffer that flushes on
+    ``forward_batch`` slots or after ``forward_delay`` seconds.  The
+    inter-domain hop is the expensive one (WAN latency, a WS-Security
+    signature per envelope), so trading a bounded extra origin-side
+    delay — tune ``forward_delay`` to a fraction of the inter-domain
+    round trip — re-amortises it even when the local closed loop has
+    decayed to trickle-sized drains.
+
+    Args:
+        resolve_domain: maps a request to its governing domain name;
+            None (the callable, or its return value) means local.
+        forward_ttl: gateway hops a forwarded batch may take.
+        forward_batch: flush a target domain's buffered slots as soon
+            as this many wait (default: the gateway's ``max_batch``).
+        forward_delay: flush a target domain's buffered slots this many
+            simulated seconds after the first entered an empty buffer
+            (default: the gateway's ``max_delay``).
+        peer_timeout: reply deadline for gateway→gateway envelopes
+            (defaults to ``pdp_timeout``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network,
+        dispatcher: DecisionDispatcher,
+        domain: str,
+        resolve_domain: Optional[DomainResolver] = None,
+        forward_ttl: int = DEFAULT_FORWARD_TTL,
+        forward_batch: Optional[int] = None,
+        forward_delay: Optional[float] = None,
+        peer_timeout: Optional[float] = None,
+        **kwargs,
+    ) -> None:
+        if not domain:
+            raise ValueError("a federated gateway needs a domain name")
+        if forward_ttl < 1:
+            raise ValueError(f"forward_ttl must be >= 1, got {forward_ttl}")
+        if forward_batch is not None and forward_batch < 1:
+            raise ValueError(
+                f"forward_batch must be >= 1, got {forward_batch}"
+            )
+        if forward_delay is not None and forward_delay < 0:
+            raise ValueError(
+                f"forward_delay must be >= 0, got {forward_delay}"
+            )
+        super().__init__(name, network, dispatcher, domain=domain, **kwargs)
+        self.resolve_domain = resolve_domain
+        self.forward_ttl = forward_ttl
+        self.forward_batch = (
+            forward_batch if forward_batch is not None else self.max_batch
+        )
+        self.forward_delay = (
+            forward_delay if forward_delay is not None else self.max_delay
+        )
+        self.peer_timeout = (
+            peer_timeout if peer_timeout is not None else self.pdp_timeout
+        )
+        #: Remote domain -> that domain's gateway address (forwarding).
+        self._peers: dict[str, str] = {}
+        #: Origin domain -> its registered gateway address (serving side;
+        #: doubles as the expected envelope signer on the secure channel).
+        self._origins: dict[str, str] = {}
+        #: Remote domain -> dispatcher over its replicas (naive baseline).
+        self._direct: dict[str, DecisionDispatcher] = {}
+        #: Remote domain -> slots awaiting the next forwarded envelope.
+        self._forward_backlog: dict[str, list[_WireSlot]] = {}
+        self._forward_handles: dict[str, object] = {}
+        self.requests_forwarded = 0
+        self.forwarded_batches_sent = 0
+        self.forwarded_batches_served = 0
+        self.forwarded_decisions_returned = 0
+        self.remote_decisions_delivered = 0
+        self.direct_batches_sent = 0
+        self.unknown_domain_denials = 0
+        self.peer_failures = 0
+        self.ttl_denials = 0
+        self.origin_rejections = 0
+        for action in (FORWARD_ACTION, SECURE_FORWARD_ACTION):
+            self.on(action, self._handle_forward)
+            self.on(f"{action}:response", self._wire.handle_reply)
+            self.on(f"{action}:fault", self._wire.handle_fault)
+
+    # -- federation topology -------------------------------------------------------
+
+    def add_peer(self, domain_name: str, gateway_address: str) -> None:
+        """Register the gateway this domain forwards ``domain_name``'s
+        traffic to."""
+        if domain_name == self.domain:
+            raise ValueError(f"{domain_name!r} is this gateway's own domain")
+        self._peers[domain_name] = gateway_address
+
+    def allow_origin(self, domain_name: str, gateway_address: str) -> None:
+        """Accept forwarded batches originated by ``domain_name``.
+
+        ``gateway_address`` pins the expected WS-Security signer on the
+        secure channel.
+        """
+        if domain_name == self.domain:
+            raise ValueError(f"{domain_name!r} is this gateway's own domain")
+        self._origins[domain_name] = gateway_address
+
+    def add_direct_route(
+        self, domain_name: str, dispatcher: DecisionDispatcher
+    ) -> None:
+        """Route ``domain_name``'s traffic straight at its replicas.
+
+        The naive baseline: no aggregation across this domain's PEPs at
+        the remote end, one envelope per drain per remote domain per
+        *source* gateway.  A registered peer gateway takes precedence.
+        """
+        if domain_name == self.domain:
+            raise ValueError(f"{domain_name!r} is this gateway's own domain")
+        self._direct[domain_name] = dispatcher
+
+    @property
+    def peer_domains(self) -> list[str]:
+        return sorted(self._peers)
+
+    @property
+    def accepted_origins(self) -> list[str]:
+        return sorted(self._origins)
+
+    # -- classification ------------------------------------------------------------
+
+    def _governing_domain(self, request: RequestContext) -> str:
+        governing = (
+            self.resolve_domain(request) if self.resolve_domain else None
+        )
+        return governing or self.domain
+
+    def _dispatch_slots(self, slots: list[_WireSlot]) -> float:
+        """Partition one drawn super-batch by governing domain and send.
+
+        Local slots ride the inherited PDP-tier path; each remote group
+        becomes one forwarded (or direct) envelope.  Unknown domains
+        fail safe immediately.  Envelopes serialise onto the same
+        egress wire, so the paced drain waits for their summed
+        transmission time.
+        """
+        groups: dict[str, list[_WireSlot]] = {}
+        for slot in slots:
+            groups.setdefault(self._governing_domain(slot.request), []).append(
+                slot
+            )
+        tx_time = 0.0
+        for target in sorted(groups, key=lambda t: (t != self.domain, t)):
+            group = groups[target]
+            if target == self.domain:
+                tx_time += self._wire.send(group)
+            elif target in self._peers:
+                self._buffer_forward(target, group)
+            elif target in self._direct:
+                tx_time += self._wire.send(group, job=self._direct_job(target))
+            else:
+                denied = sum(len(slot.entries) for slot in group)
+                self.unknown_domain_denials += denied
+                self.network.metrics.bump("federation.unknown_domain", denied)
+                self._fail_slots(
+                    group,
+                    RpcFault(
+                        "federation:unknown-domain",
+                        f"no gateway or route for domain {target!r}",
+                    ),
+                )
+        return tx_time
+
+    # -- the forwarding buffer -------------------------------------------------------
+
+    def _buffer_forward(self, target: str, slots: list[_WireSlot]) -> None:
+        """Accumulate remote slots until the target's buffer fills/ages.
+
+        The slots are already marked in flight at the gateway tier, so
+        identical requests arriving meanwhile still join them (the
+        buffer deepens the dedup window rather than bypassing it).
+        """
+        backlog = self._forward_backlog.setdefault(target, [])
+        backlog.extend(slots)
+        if len(backlog) >= self.forward_batch:
+            self._flush_forward(target)
+        elif target not in self._forward_handles:
+            self._forward_handles[target] = self.network.loop.schedule(
+                self.forward_delay,
+                lambda: self._flush_forward(target),
+                label="federation-forward",
+            )
+
+    def _flush_forward(self, target: str) -> None:
+        handle = self._forward_handles.pop(target, None)
+        if handle is not None:
+            self.network.loop.cancel(handle)
+        backlog = self._forward_backlog.get(target, [])
+        while backlog:
+            chunk, backlog = (
+                backlog[: self.forward_batch],
+                backlog[self.forward_batch :],
+            )
+            self._forward_backlog[target] = backlog
+            self._wire.send(chunk, job=self._forward_job(target))
+
+    # -- the forwarding wire (jobs for the shared core) -----------------------------
+
+    def _forward_job(
+        self,
+        target: str,
+        ttl: Optional[int] = None,
+        deliver=None,
+        fail=None,
+    ) -> WireJob:
+        peer = self._peers[target]
+        hops = self.forward_ttl if ttl is None else ttl
+
+        def select(exclude: Sequence[str]) -> Optional[str]:
+            return None if peer in exclude else peer
+
+        return WireJob(
+            select=select,
+            build=lambda items: self._build_forward(items, hops),
+            # The inherited reply parse applies unchanged: the core pins
+            # the expected signer to the envelope's destination, which
+            # for a forward job is the peer gateway.
+            parse=self._parse_super_reply,
+            deliver=deliver if deliver is not None else self._deliver_remote_slots,
+            fail=fail if fail is not None else self._fail_forwarded_slots,
+            timeout=self.peer_timeout,
+            on_sent=self._note_forward,
+        )
+
+    def _direct_job(self, target: str) -> WireJob:
+        dispatcher = self._direct[target]
+        return WireJob(
+            select=lambda exclude: dispatcher.select(exclude=exclude),
+            build=self._build_super_batch,
+            parse=self._parse_super_reply,
+            deliver=self._deliver_remote_slots,
+            fail=self._fail_slots,
+            timeout=self.pdp_timeout,
+            dispatcher=dispatcher,
+            on_sent=self._note_direct,
+        )
+
+    def _service_job(self, deliver, fail) -> WireJob:
+        """Local PDP-tier service of (part of) an inbound forwarded batch."""
+        return WireJob(
+            select=self._select_replica,
+            build=lambda items: self._build_batch_query(
+                [part.request for part in items]
+            ),
+            parse=self._parse_super_reply,
+            deliver=deliver,
+            fail=fail,
+            timeout=self.pdp_timeout,
+            dispatcher=self.dispatcher,
+        )
+
+    def _build_forward(self, items: list, ttl: int) -> tuple:
+        batch = XacmlAuthzDecisionBatchQuery.for_requests(
+            [item.request for item in items],
+            issuer=self.name,
+            issue_instant=self.now,
+        )
+        forwarded = ForwardedBatchQuery(
+            batch=batch,
+            origin_domain=self.domain,
+            origin_gateway=self.name,
+            ttl=ttl,
+        )
+        if self.secure_channel:
+            action = SECURE_FORWARD_ACTION
+            payload: object = self._secure_payload(action, forwarded.to_xml())
+        else:
+            action = FORWARD_ACTION
+            payload = forwarded.to_xml()
+        return action, payload, batch
+
+    def _note_forward(self, items: list) -> None:
+        self.forwarded_batches_sent += 1
+        self.requests_forwarded += len(items)
+
+    def _note_direct(self, items: list) -> None:
+        self.direct_batches_sent += 1
+
+    def _deliver_remote_slots(
+        self, slots: list[_WireSlot], statements: Sequence
+    ) -> None:
+        self.remote_decisions_delivered += sum(
+            len(slot.entries) for slot in slots
+        )
+        self._deliver_slots(slots, statements)
+
+    def _fail_forwarded_slots(
+        self, slots: list[_WireSlot], exc: Exception
+    ) -> None:
+        denied = sum(len(slot.entries) for slot in slots)
+        self.peer_failures += denied
+        self.network.metrics.bump("federation.peer_unreachable", denied)
+        self._fail_slots(slots, exc)
+
+    # -- the serving side ------------------------------------------------------------
+
+    def _unwrap_forward(
+        self, message: Message
+    ) -> tuple[ForwardedBatchQuery, Optional[str]]:
+        """Decode an inbound forward; returns (query, envelope signer)."""
+        if message.kind == SECURE_FORWARD_ACTION:
+            envelope = message.payload
+            if not isinstance(envelope, SoapEnvelope):
+                raise RpcFault(
+                    "federation:bad-forward", "forward carries no SOAP envelope"
+                )
+            clear = verify_envelope(
+                envelope,
+                self.identity.keystore,
+                self.identity.validator,
+                decrypt_with=self.identity.keypair,
+                config=SecurityConfig(require_signature=True),
+                at=self.now,
+            )
+            return ForwardedBatchQuery.from_xml(clear.body_xml), signer_of(clear)
+        return ForwardedBatchQuery.from_xml(str(message.payload)), None
+
+    def _reject_origin(self, code: str, reason: str) -> RpcFault:
+        self.origin_rejections += 1
+        self.network.metrics.bump("federation.origin_rejected")
+        return RpcFault(code, reason)
+
+    def _handle_forward(self, message: Message) -> None:
+        if self.secure_channel and message.kind != SECURE_FORWARD_ACTION:
+            raise self._reject_origin(
+                "federation:insecure-forward",
+                "this gateway only accepts signed forwards",
+            )
+        try:
+            forwarded, signer = self._unwrap_forward(message)
+        except (WsSecurityError, RpcFault) as exc:
+            raise self._reject_origin("federation:bad-signature", str(exc))
+        except Exception as exc:
+            raise RpcFault("federation:bad-forward", str(exc))
+        expected = self._origins.get(forwarded.origin_domain)
+        if expected is None:
+            raise self._reject_origin(
+                "federation:untrusted-origin",
+                f"domain {forwarded.origin_domain!r} is not an accepted origin",
+            )
+        if signer is not None and signer != expected:
+            raise self._reject_origin(
+                "federation:bad-signature",
+                f"forward signed by {signer!r}, expected {expected!r}",
+            )
+        self.forwarded_batches_served += 1
+        _ServiceContext(self, message, forwarded).start()
+        return None
+
+    def _indeterminate_statement(
+        self, query: XacmlAuthzDecisionQuery, reason: str
+    ) -> XacmlAuthzDecisionStatement:
+        """A fail-safe answer for one forwarded query (enforced as deny)."""
+        return XacmlAuthzDecisionStatement(
+            response=ResponseContext.single(
+                Decision.INDETERMINATE,
+                status=Status(
+                    code=StatusCode.PROCESSING_ERROR, message=reason
+                ),
+            ),
+            in_response_to=query.query_id,
+            issuer=self.name,
+            issue_instant=self.now,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FederatedGateway({self.name}, domain={self.domain!r}, "
+            f"peps={len(self._queues)}, peers={self.peer_domains}, "
+            f"pending={len(self._pending_slots)}, inflight={self.inflight_count})"
+        )

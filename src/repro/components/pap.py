@@ -12,7 +12,7 @@ so the access control system protects itself with its own machinery
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Union
 
 from ..simnet.message import Message

@@ -11,7 +11,6 @@ the cost that makes attribute push-vs-pull trade-offs measurable.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 from xml.sax.saxutils import escape, quoteattr, unescape
 

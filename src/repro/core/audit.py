@@ -10,8 +10,8 @@ fail-safe denial engage) the paper's management section motivates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from ..xacml.context import Decision
 

@@ -24,7 +24,7 @@ and injected crash faults.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..components.base import Component, RpcFault, RpcTimeout

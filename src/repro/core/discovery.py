@@ -17,7 +17,7 @@ Experiment E10 compares static binding vs discovery under PDP churn.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..components.base import Component, RpcFault, RpcTimeout

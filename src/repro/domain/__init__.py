@@ -12,11 +12,16 @@ from .domain import (
     COMPONENT_CERT_LIFETIME,
     WebServiceResource,
 )
+from .directory import (
+    ResourceDirectory,
+    build_directory,
+)
 from .federation import (
     CollaborationMode,
     FederationAgreement,
     build_ad_hoc_collaboration,
     build_federation,
+    federate_gateways,
 )
 from .identity import (
     ASSERTION_LIFETIME,
@@ -52,6 +57,7 @@ __all__ = [
     "MAX_ROUNDS",
     "NegotiationOutcome",
     "NegotiationParty",
+    "ResourceDirectory",
     "SUBJECT_VO_MEMBERSHIP",
     "Subject",
     "TraustServer",
@@ -63,7 +69,9 @@ __all__ = [
     "WebServiceResource",
     "assertion_from_payload",
     "build_ad_hoc_collaboration",
+    "build_directory",
     "build_federation",
+    "federate_gateways",
     "negotiate",
     "resolve_attribute_name",
 ]

@@ -1,0 +1,103 @@
+"""The VO-wide resource directory: which domain governs which resource.
+
+Cross-domain decision routing needs exactly one piece of shared
+knowledge: for a given resource, *whose* policy applies — i.e. which
+administrative domain's PDP tier is authoritative for it.  The paper's
+Fig. 1 implies this mapping (every Web-Service resource lives inside
+one domain); :class:`ResourceDirectory` makes it explicit and hands the
+:class:`~repro.components.federation.FederatedGateway` a resolver over
+it.
+
+The directory is deliberately a plain replicated lookup table, not a
+service on the simulated network: in a real deployment it is the
+(slow-changing, aggressively cacheable) service registry, and modelling
+its lookup traffic would only blur the decision-path measurements E18
+is after.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..xacml.context import RequestContext
+from .domain import AdministrativeDomain
+
+#: Resolver signature the federated gateway consumes.
+DomainResolver = Callable[[RequestContext], Optional[str]]
+
+
+class ResourceDirectory:
+    """Maps resource identifiers to their governing domain.
+
+    Args:
+        default_domain: what :meth:`domain_of` returns for unlisted
+            resources; None means "unknown" (the federated gateway then
+            treats the resource as locally governed).
+    """
+
+    def __init__(self, default_domain: Optional[str] = None) -> None:
+        self._governing: dict[str, str] = {}
+        self.default_domain = default_domain
+
+    def register(self, resource_id: str, domain_name: str) -> None:
+        """Record that ``domain_name`` governs ``resource_id``.
+
+        Re-registering under the *same* domain is idempotent; moving a
+        resource between domains must be explicit (:meth:`transfer`) —
+        a silently flipping directory is how routing loops are born.
+        """
+        existing = self._governing.get(resource_id)
+        if existing is not None and existing != domain_name:
+            raise ValueError(
+                f"resource {resource_id!r} is already governed by "
+                f"{existing!r}; use transfer() to move it"
+            )
+        self._governing[resource_id] = domain_name
+
+    def register_domain(self, domain: AdministrativeDomain) -> int:
+        """Register every resource a domain currently exposes."""
+        for resource_id in domain.resources:
+            self.register(resource_id, domain.name)
+        return len(domain.resources)
+
+    def transfer(self, resource_id: str, domain_name: str) -> None:
+        """Move a resource's governance to another domain (explicit)."""
+        self._governing[resource_id] = domain_name
+
+    def domain_of(self, resource_id: str) -> Optional[str]:
+        return self._governing.get(resource_id, self.default_domain)
+
+    def resources_of(self, domain_name: str) -> list[str]:
+        return sorted(
+            resource_id
+            for resource_id, governing in self._governing.items()
+            if governing == domain_name
+        )
+
+    def domains(self) -> set[str]:
+        return set(self._governing.values())
+
+    def __len__(self) -> int:
+        return len(self._governing)
+
+    def resolver(self) -> DomainResolver:
+        """A request→governing-domain resolver for federated gateways."""
+
+        def resolve(request: RequestContext) -> Optional[str]:
+            resource_id = request.resource_id
+            if resource_id is None:
+                return self.default_domain
+            return self.domain_of(resource_id)
+
+        return resolve
+
+
+def build_directory(
+    domains: Iterable[AdministrativeDomain],
+    default_domain: Optional[str] = None,
+) -> ResourceDirectory:
+    """One directory over every resource the given domains expose."""
+    directory = ResourceDirectory(default_domain=default_domain)
+    for domain in domains:
+        directory.register_domain(domain)
+    return directory

@@ -15,13 +15,13 @@ records that make the difference auditable.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterable
 
+from ..components.federation import FederatedGateway
 from ..simnet.network import Network
 from ..wss.keys import KeyStore
-from .domain import AdministrativeDomain
-from .trust import TrustKind
+from .trust import TrustGraph, TrustKind
 from .virtual_org import VirtualOrganization
 
 
@@ -99,3 +99,41 @@ def build_ad_hoc_collaboration(
             )
         )
     return vo, agreements
+
+
+def federate_gateways(
+    trust: TrustGraph, gateways: Iterable[FederatedGateway]
+) -> list[tuple[str, str]]:
+    """Connect domain gateways along the VO's DECISION trust edges.
+
+    For every ordered domain pair ``(a, b)`` where ``a`` trusts ``b``
+    for :attr:`~repro.domain.trust.TrustKind.DECISION` — i.e. ``a``
+    accepts authorisation decisions made by ``b`` — ``a``'s gateway
+    registers ``b``'s as the forwarding peer for ``b``-governed
+    resources, and ``b``'s gateway agrees to serve (and, on the secure
+    channel, pins the envelope signer of) forwards originated by ``a``.
+
+    Domain pairs *without* the trust edge are left unconnected: a
+    request for such a domain's resource fails safe at the origin
+    gateway (``federation:unknown-domain``), which is the autonomy
+    stance the paper's §3.2 asks for — no trust edge, no decision flow.
+
+    Returns the ``(truster, trusted)`` pairs actually connected.
+    """
+    by_domain: dict[str, FederatedGateway] = {}
+    for gateway in gateways:
+        if gateway.domain in by_domain:
+            raise ValueError(
+                f"two gateways claim domain {gateway.domain!r}"
+            )
+        by_domain[gateway.domain] = gateway
+    connected: list[tuple[str, str]] = []
+    for truster_name, truster in sorted(by_domain.items()):
+        for trusted_name, trusted in sorted(by_domain.items()):
+            if truster_name == trusted_name:
+                continue
+            if trust.trusts(truster_name, trusted_name, TrustKind.DECISION):
+                truster.add_peer(trusted_name, trusted.name)
+                trusted.allow_origin(truster_name, truster.name)
+                connected.append((truster_name, trusted_name))
+    return connected

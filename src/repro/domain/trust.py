@@ -19,8 +19,7 @@ Trust kinds follow the paper's decomposition:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
 
 
 class TrustKind(enum.Enum):

@@ -25,14 +25,12 @@ from typing import Iterable, Optional
 from ..xacml import combining
 from ..xacml.attributes import (
     ACTION_ID,
-    AttributeValue,
     Category,
     DataType,
     ENVIRONMENT_TIME,
     string,
 )
 from ..xacml.expressions import (
-    Apply,
     Condition,
     Expression,
     apply_,
@@ -41,7 +39,7 @@ from ..xacml.expressions import (
 )
 from ..xacml.functions import FUNCTION_PREFIX_1_0, FUNCTION_PREFIX_2_0
 from ..xacml.policy import Policy
-from ..xacml.rules import Rule, deny_rule, permit_rule
+from ..xacml.rules import Rule, deny_rule
 from ..xacml.targets import Target, match_equal, target_of
 from ..xacml.context import Decision
 

@@ -19,8 +19,7 @@ handler consults/updates the wall before access proceeds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from ..xacml.context import Obligation, RequestContext
 

@@ -15,10 +15,8 @@ mirroring the paper's positive/negative authorisations discussion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..xacml import combining
-from ..xacml.attributes import Category, SUBJECT_ID, string
 from ..xacml.policy import Policy
 from ..xacml.rules import deny_rule, permit_rule
 from ..xacml.targets import subject_resource_action_target

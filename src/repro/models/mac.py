@@ -32,13 +32,7 @@ from ..xacml.attributes import (
     integer,
     string,
 )
-from ..xacml.expressions import (
-    Apply,
-    Condition,
-    apply_,
-    designator,
-    literal,
-)
+from ..xacml.expressions import Condition, apply_, designator
 from ..xacml.policy import Policy
 from ..xacml.rules import deny_rule, permit_rule
 from ..xacml.targets import match_equal, target_of

@@ -26,7 +26,6 @@ The model implements:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
 
 from ..components.pip import AttributeStore
 from ..xacml import combining
@@ -38,7 +37,6 @@ from ..xacml.targets import (
     AnyOf,
     Match,
     Target,
-    match_equal,
     subject_resource_action_target,
 )
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..wsvc.soap import SoapEnvelope
-from .assertions import Assertion, SignedAssertion
+from .assertions import SignedAssertion
 
 ASSERTION_HEADER = "saml:AssertionHeader"
 

@@ -18,6 +18,13 @@ from .highload import (
     run_closed_loop,
     run_closed_loop_multi,
 )
+from .multidomain import (
+    DomainLoadStats,
+    FederatedLoadStats,
+    federated_resource_id,
+    multi_domain_request_mix,
+    run_closed_loop_federated,
+)
 from .scenarios import (
     Scenario,
     enterprise_soa,
@@ -30,6 +37,8 @@ __all__ = [
     "ACTIONS",
     "AccessEvent",
     "ClosedLoopStats",
+    "DomainLoadStats",
+    "FederatedLoadStats",
     "GeneratedWorkload",
     "MultiPepStats",
     "PepLoadStats",
@@ -39,11 +48,14 @@ __all__ = [
     "access_requests",
     "build_workload",
     "enterprise_soa",
+    "federated_resource_id",
     "generate_policy_corpus",
     "grid_vo",
     "healthcare_federation",
+    "multi_domain_request_mix",
     "request_stream",
     "revocation_churn",
     "run_closed_loop",
     "run_closed_loop_multi",
+    "run_closed_loop_federated",
 ]

@@ -19,7 +19,7 @@ from ..models.rbac import RbacModel
 from ..simnet.network import Network
 from ..wss.keys import KeyStore
 from ..xacml import combining
-from ..xacml.policy import Policy, PolicySet
+from ..xacml.policy import Policy
 from ..xacml.rules import deny_rule, permit_rule
 from ..xacml.targets import subject_resource_action_target
 
@@ -87,7 +87,6 @@ def build_workload(
     """
     from ..domain.federation import build_federation
 
-    rng = random.Random(spec.seed)
     domain_names = [f"domain-{i}" for i in range(spec.domains)]
     vo, _ = build_federation(
         f"workload-vo-{spec.seed}", domain_names, network, keystore

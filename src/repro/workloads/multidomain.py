@@ -1,0 +1,178 @@
+"""Multi-domain closed-loop workloads: remote-fraction request mixes.
+
+The single- and multi-PEP closed loops of :mod:`repro.workloads.highload`
+drive one domain's PEPs against one domain's decision tier.  Federation
+(experiment E18) needs the multi-*domain* version: several domains'
+PEP fleets run concurrently on one network, and a configurable fraction
+of each PEP's requests target resources *governed by another domain* —
+the traffic that must cross the gateway→gateway path (or, in the naive
+baseline, go per-PEP straight at the remote PDP tier).
+
+:func:`multi_domain_request_mix` builds one PEP's stream over the
+VO-wide resource population with a given remote fraction;
+:func:`run_closed_loop_federated` drives every domain's PEPs through
+:func:`~repro.workloads.highload.run_closed_loop_multi` (one driver,
+one implementation) and regroups the per-PEP results into per-domain
+summaries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..xacml.context import RequestContext
+from .highload import ClosedLoopStats, PepLoadStats, run_closed_loop_multi
+
+
+def federated_resource_id(domain_name: str, index: int) -> str:
+    """The canonical VO-wide resource name: ``res.<domain>.<index>``."""
+    return f"res.{domain_name}.{index}"
+
+
+def multi_domain_request_mix(
+    home_domain: str,
+    domain_names: Sequence[str],
+    count: int,
+    remote_fraction: float,
+    resources_per_domain: int = 8,
+    subjects: int = 100,
+    read_fraction: float = 0.9,
+    seed: int = 0,
+) -> list[RequestContext]:
+    """One PEP's request stream with a controlled remote share.
+
+    Each request targets a uniformly drawn resource of its governing
+    domain: the home domain with probability ``1 - remote_fraction``,
+    otherwise a uniformly drawn *other* domain.  Subjects are shared
+    across the whole VO population so identical hot requests exist for
+    the dedup tiers to merge.
+
+    Args:
+        home_domain: the domain whose PEP will submit this stream.
+        domain_names: every domain in the VO (including the home one).
+        count: stream length.
+        remote_fraction: probability a request is remote-governed.
+        seed: per-PEP seed; different PEPs should use different seeds so
+            streams overlap without being identical.
+    """
+    if not 0.0 <= remote_fraction <= 1.0:
+        raise ValueError(
+            f"remote_fraction must be in [0, 1], got {remote_fraction}"
+        )
+    remote_domains = [name for name in domain_names if name != home_domain]
+    if remote_fraction > 0 and not remote_domains:
+        raise ValueError(
+            f"remote_fraction {remote_fraction} needs at least one domain "
+            f"besides {home_domain!r}"
+        )
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(count):
+        if remote_domains and rng.random() < remote_fraction:
+            governing = remote_domains[rng.randrange(len(remote_domains))]
+        else:
+            governing = home_domain
+        requests.append(
+            RequestContext.simple(
+                f"user-{rng.randrange(subjects)}",
+                federated_resource_id(
+                    governing, rng.randrange(resources_per_domain)
+                ),
+                "read" if rng.random() < read_fraction else "delete",
+            )
+        )
+    return requests
+
+
+@dataclass(frozen=True)
+class DomainLoadStats:
+    """One domain's share of a federated closed-loop run."""
+
+    name: str
+    submitted: int
+    completed: int
+    granted: int
+    denied: int
+    #: Worst per-PEP p95 submit→completion delay inside this domain.
+    worst_pep_p95: float
+    per_pep: tuple[PepLoadStats, ...]
+
+
+@dataclass(frozen=True)
+class FederatedLoadStats:
+    """What one multi-domain closed-loop run measured.
+
+    ``fleet`` aggregates the whole VO (every domain's PEPs pooled);
+    ``per_domain`` regroups the per-PEP breakdowns by owning domain.
+    """
+
+    fleet: ClosedLoopStats
+    per_domain: tuple[DomainLoadStats, ...]
+
+    def domain(self, name: str) -> DomainLoadStats:
+        for stats in self.per_domain:
+            if stats.name == name:
+                return stats
+        raise KeyError(f"no domain {name!r} in this run")
+
+
+def run_closed_loop_federated(
+    peps_by_domain: Mapping[str, Sequence],
+    requests_by_domain: Mapping[str, Sequence[Sequence[RequestContext]]],
+    concurrency: int,
+    horizon: float = 300.0,
+) -> FederatedLoadStats:
+    """Drive every domain's PEP fleet concurrently on one network.
+
+    Args:
+        peps_by_domain: domain name → that domain's PEPs (batching
+            enabled, registered with the domain's gateway or carrying
+            their own dispatch — both E18 modes use this driver).
+        requests_by_domain: domain name → one request sequence per PEP,
+            aligned with ``peps_by_domain``.
+        concurrency: outstanding-request window per PEP.
+        horizon: simulated-seconds safety stop.
+    """
+    if set(peps_by_domain) != set(requests_by_domain):
+        raise ValueError(
+            f"domains differ: {sorted(peps_by_domain)} vs "
+            f"{sorted(requests_by_domain)}"
+        )
+    domain_names = sorted(peps_by_domain)
+    peps, requests, owners = [], [], []
+    for domain_name in domain_names:
+        domain_peps = list(peps_by_domain[domain_name])
+        domain_requests = list(requests_by_domain[domain_name])
+        if len(domain_peps) != len(domain_requests):
+            raise ValueError(
+                f"domain {domain_name!r}: {len(domain_peps)} PEPs but "
+                f"{len(domain_requests)} request sequences"
+            )
+        peps.extend(domain_peps)
+        requests.extend(domain_requests)
+        owners.extend([domain_name] * len(domain_peps))
+    multi = run_closed_loop_multi(peps, requests, concurrency, horizon=horizon)
+    per_domain = []
+    for domain_name in domain_names:
+        shares = tuple(
+            stats
+            for stats, owner in zip(multi.per_pep, owners)
+            if owner == domain_name
+        )
+        per_domain.append(
+            DomainLoadStats(
+                name=domain_name,
+                submitted=sum(share.submitted for share in shares),
+                completed=sum(share.completed for share in shares),
+                granted=sum(share.granted for share in shares),
+                denied=sum(share.denied for share in shares),
+                worst_pep_p95=max(
+                    (share.queue_latency.p95 for share in shares),
+                    default=0.0,
+                ),
+                per_pep=shares,
+            )
+        )
+    return FederatedLoadStats(fleet=multi.fleet, per_domain=tuple(per_domain))

@@ -9,10 +9,8 @@ enterprise SOA with business partners.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..capability.cas import CommunityAuthorizationService
-from ..capability.tokens import CapabilityVerifier
 from ..components.pep import PepConfig
 from ..domain.federation import build_federation
 from ..domain.trust import TrustKind
@@ -129,11 +127,11 @@ def healthcare_federation(seed: int = 0) -> Scenario:
     clinic = vo.domain("clinic")
     research = vo.domain("research")
 
-    records = hospital.expose_resource(
+    hospital.expose_resource(
         "patient-records", description="longitudinal patient records"
     )
-    labs = clinic.expose_resource("lab-results")
-    cohort = research.expose_resource("anonymised-cohort")
+    clinic.expose_resource("lab-results")
+    research.expose_resource("anonymised-cohort")
 
     #: Physicians read records; researchers only the anonymised cohort;
     #: break-glass: emergency access permitted with a mandatory audit

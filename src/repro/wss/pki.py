@@ -15,7 +15,7 @@ issuer, validity window, the subject's public key, optional extensions
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .keys import KeyPair, KeyStore, PublicKey

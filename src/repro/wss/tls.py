@@ -15,7 +15,7 @@ We model TLS at the granularity the experiments need:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .pki import Certificate, CertificateError, TrustValidator

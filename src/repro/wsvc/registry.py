@@ -9,7 +9,7 @@ against registry lookups under PDP churn.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from .wsdl import ServiceDescription

@@ -12,7 +12,7 @@ and a router that maps an HTTP-style request to the canonical
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 SAFE_METHODS = frozenset({"GET", "HEAD", "OPTIONS"})

@@ -9,7 +9,7 @@ This module implements that model closely following XACML 2.0.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Optional
 
 

@@ -10,8 +10,8 @@ a PEP exchanges with a PDP.  :class:`RequestContext` and
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from .attributes import (
     ACTION_ID,

@@ -17,14 +17,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from . import combining
-from .attributes import ACTION_ID, Category, DataType, RESOURCE_ID, SUBJECT_ID
-from .context import (
-    Decision,
-    RequestContext,
-    ResponseContext,
-    Status,
-    StatusCode,
-)
+from .attributes import ACTION_ID, Category, RESOURCE_ID, SUBJECT_ID
+from .context import Decision, RequestContext, ResponseContext, Status
 from .expressions import AttributeFinder, EvaluationContext
 from .policy import Policy, PolicyResult, PolicySet, child_identifier
 

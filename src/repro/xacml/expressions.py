@@ -15,14 +15,13 @@ from typing import Any, Callable, Optional, Protocol, Union
 
 from . import functions
 from .attributes import (
-    Attribute,
     AttributeDesignator,
     AttributeValue,
     Bag,
     Category,
     DataType,
 )
-from .context import Decision, RequestContext, Status, StatusCode
+from .context import RequestContext, Status, StatusCode
 
 
 class Indeterminate(Exception):

@@ -9,7 +9,7 @@ Delegation profile (:mod:`repro.admin.delegation`) builds on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Optional, Union
 
 from . import combining

@@ -13,27 +13,18 @@ import xml.etree.ElementTree as ET
 from typing import Union
 
 from .attributes import AttributeDesignator, AttributeValue, Category
-from .context import (
-    Decision,
-    Obligation,
-    ObligationAssignment,
-    RequestContext,
-    ResponseContext,
-    Result,
-    Status,
-)
+from .context import Obligation, RequestContext, ResponseContext
 from .expressions import (
     AllOfFunction,
     AnyOfFunction,
     Apply,
-    Condition,
     Designator,
     Expression,
     Literal,
 )
 from .policy import Policy, PolicyReference, PolicySet
 from .rules import Rule
-from .targets import AllOf, AnyOf, Match, Target
+from .targets import Target
 
 ANY_OF_FUNCTION_ID = "urn:oasis:names:tc:xacml:1.0:function:any-of"
 ALL_OF_FUNCTION_ID = "urn:oasis:names:tc:xacml:1.0:function:all-of"

@@ -18,7 +18,6 @@ from .attributes import (
     AttributeDesignator,
     AttributeValue,
     Category,
-    DataType,
     RESOURCE_ID,
     SUBJECT_ID,
     string,

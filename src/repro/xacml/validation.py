@@ -25,7 +25,6 @@ from .expressions import (
 )
 from .policy import Policy, PolicySet
 from .rules import Rule
-from .serializer import ALL_OF_FUNCTION_ID, ANY_OF_FUNCTION_ID
 
 
 class Severity(enum.Enum):

@@ -20,7 +20,6 @@ from repro.simnet import Network
 from repro.wss import KeyStore
 from repro.xacml import (
     Category,
-    Decision,
     PdpEngine,
     Policy,
     SUBJECT_ROLE,

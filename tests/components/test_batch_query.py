@@ -9,12 +9,8 @@ from repro.components import (
     PolicyAdministrationPoint,
     PolicyDecisionPoint,
     PolicyEnforcementPoint,
-    RpcFault,
 )
-from repro.saml import (
-    XacmlAuthzDecisionBatchQuery,
-    XacmlAuthzDecisionBatchStatement,
-)
+from repro.saml import XacmlAuthzDecisionBatchQuery
 from repro.simnet import Network
 from repro.wss import KeyStore
 from repro.wss.pki import CertificateAuthority, TrustValidator

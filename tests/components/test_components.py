@@ -252,7 +252,7 @@ class TestPdp:
 
     def test_unsigned_query_rejected_when_required(self):
         network = Network()
-        pdp = PolicyDecisionPoint(
+        PolicyDecisionPoint(
             "strict-pdp",
             network,
             config=PdpConfig(require_signed_queries=True),
@@ -327,7 +327,7 @@ class TestPep:
                 ),
             )
         )
-        pdp = PolicyDecisionPoint("pdp6", network, pap_address="pap6")
+        PolicyDecisionPoint("pdp6", network, pap_address="pap6")
         pep = PolicyEnforcementPoint("pep6", network, pdp_address="pdp6")
         result = pep.authorize_simple("a", "r", "read")
         assert result.decision is Decision.DENY
@@ -344,7 +344,7 @@ class TestPep:
                 obligations=(Obligation("urn:test:log", Decision.PERMIT),),
             )
         )
-        pdp = PolicyDecisionPoint("pdp7", network, pap_address="pap7")
+        PolicyDecisionPoint("pdp7", network, pap_address="pap7")
         pep = PolicyEnforcementPoint("pep7", network, pdp_address="pdp7")
         log = []
         pep.register_obligation_handler(
@@ -364,7 +364,7 @@ class TestPep:
                 obligations=(Obligation("urn:test:quota", Decision.PERMIT),),
             )
         )
-        pdp = PolicyDecisionPoint("pdp8", network, pap_address="pap8")
+        PolicyDecisionPoint("pdp8", network, pap_address="pap8")
         pep = PolicyEnforcementPoint("pep8", network, pdp_address="pdp8")
         pep.register_obligation_handler("urn:test:quota", lambda ob, req: False)
         result = pep.authorize_simple("a", "r", "read")
@@ -405,7 +405,7 @@ class TestSecureChannel:
         domain = AdministrativeDomain("acme", network, keystore)
         domain.create_pap()
         domain.pap.publish(role_policy())
-        pdp = domain.create_pdp(config=PdpConfig(require_signed_queries=True))
+        domain.create_pdp(config=PdpConfig(require_signed_queries=True))
         # PEP in plain mode: queries go to the plain endpoint, which the
         # strict PDP refuses; fail-safe denial results.
         pep = domain.create_pep("doc", config=PepConfig(secure_channel=False))

@@ -135,7 +135,7 @@ class TestRestToEnforcement:
                 rule_combining=combining.RULE_FIRST_APPLICABLE,
             )
         )
-        pdp = PolicyDecisionPoint("pdp", network, pap_address="pap")
+        PolicyDecisionPoint("pdp", network, pap_address="pap")
         pep = PolicyEnforcementPoint("pep", network, pdp_address="pdp")
         router = RestRouter()
         router.add(

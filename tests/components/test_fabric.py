@@ -5,7 +5,6 @@ import pytest
 from repro.components import (
     CoalescingDecisionQueue,
     DecisionDispatcher,
-    PdpConfig,
     PepConfig,
     PolicyAdministrationPoint,
     PolicyDecisionPoint,
@@ -198,7 +197,7 @@ class TestCoalescingQueue:
     def test_all_replicas_dead_fail_safe_denies(self):
         network, pdps, pep = build_env(replicas=2)
         dispatcher = DecisionDispatcher([p.name for p in pdps])
-        queue = pep.enable_batching(
+        pep.enable_batching(
             max_batch=2, max_delay=0.01, dispatcher=dispatcher
         )
         for pdp in pdps:

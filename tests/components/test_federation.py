@@ -1,0 +1,372 @@
+"""Cross-domain federation: routing, TTL, trust, signatures, revocation."""
+
+import pytest
+
+from repro.components import (
+    DecisionDispatcher,
+    FORWARD_ACTION,
+    FederatedGateway,
+    ForwardedBatchQuery,
+    PepConfig,
+    PolicyAdministrationPoint,
+    PolicyDecisionPoint,
+    PolicyEnforcementPoint,
+)
+from repro.domain import (
+    ResourceDirectory,
+    TrustGraph,
+    TrustKind,
+    VirtualOrganization,
+    federate_gateways,
+)
+from repro.revocation import (
+    CoherenceAgent,
+    InvalidationBus,
+    PushStrategy,
+    RevocationAuthority,
+)
+from repro.saml.xacml_profile import XacmlAuthzDecisionBatchQuery
+from repro.simnet import Network
+from repro.wss import KeyStore
+from repro.xacml import (
+    Policy,
+    RequestContext,
+    combining,
+    deny_rule,
+    permit_rule,
+    subject_resource_action_target,
+)
+
+#: The VO-wide governance map both test domains agree on.
+DIRECTORY = {"res.west": "west", "res.east": "east"}
+
+
+def policy_for(resource_id: str) -> Policy:
+    return Policy(
+        policy_id=f"{resource_id}-policy",
+        target=subject_resource_action_target(resource_id=resource_id),
+        rules=(
+            permit_rule(
+                "alice", subject_resource_action_target(subject_id="alice")
+            ),
+            deny_rule("rest"),
+        ),
+        rule_combining=combining.RULE_FIRST_APPLICABLE,
+    )
+
+
+def build_two_domains(
+    resolvers=None,
+    forward_ttl=3,
+    connect=True,
+    cache_ttl=0.0,
+    seed=91,
+):
+    """Two insecure domains (west/east), one PEP + PDP + gateway each.
+
+    ``resolvers`` overrides a domain's resource→domain map (how the
+    loop test models two domains with *conflicting* directories).
+    """
+    network = Network(seed=seed)
+    hubs: dict[str, FederatedGateway] = {}
+    peps: dict[str, PolicyEnforcementPoint] = {}
+    for name in ("west", "east"):
+        pap = PolicyAdministrationPoint(f"pap.{name}", network, domain=name)
+        pap.publish(policy_for(f"res.{name}"))
+        PolicyDecisionPoint(
+            f"pdp.{name}", network, domain=name, pap_address=f"pap.{name}"
+        )
+        mapping = (resolvers or {}).get(name, DIRECTORY)
+        hubs[name] = FederatedGateway(
+            f"gw.{name}",
+            network,
+            DecisionDispatcher([f"pdp.{name}"]),
+            domain=name,
+            resolve_domain=(
+                lambda request, m=mapping: m.get(request.resource_id)
+            ),
+            forward_ttl=forward_ttl,
+            max_batch=8,
+            max_delay=0.001,
+        )
+        pep = PolicyEnforcementPoint(
+            f"pep.{name}",
+            network,
+            domain=name,
+            config=PepConfig(decision_cache_ttl=cache_ttl),
+        )
+        pep.enable_batching(max_batch=4, max_delay=0.001, gateway=hubs[name])
+        peps[name] = pep
+    if connect:
+        for origin, target in (("west", "east"), ("east", "west")):
+            hubs[origin].add_peer(target, hubs[target].name)
+            hubs[target].allow_origin(origin, hubs[origin].name)
+    return network, peps, hubs
+
+
+class TestForwardedBatchQueryWireFormat:
+    def test_round_trip(self):
+        batch = XacmlAuthzDecisionBatchQuery.for_requests(
+            [RequestContext.simple("alice", "res.east", "read")],
+            issuer="gw.west",
+            issue_instant=1.25,
+        )
+        forwarded = ForwardedBatchQuery(
+            batch=batch, origin_domain="west", origin_gateway="gw.west", ttl=2
+        )
+        parsed = ForwardedBatchQuery.from_xml(forwarded.to_xml())
+        assert parsed.origin_domain == "west"
+        assert parsed.origin_gateway == "gw.west"
+        assert parsed.ttl == 2
+        assert parsed.batch.batch_id == batch.batch_id
+        assert len(parsed.batch.queries) == 1
+
+    def test_hostile_domain_name_round_trips(self):
+        batch = XacmlAuthzDecisionBatchQuery.for_requests(
+            [RequestContext.simple("alice", "res.east", "read")],
+            issuer="gw",
+            issue_instant=0.0,
+        )
+        hostile = 'we"st<&'
+        forwarded = ForwardedBatchQuery(
+            batch=batch, origin_domain=hostile, origin_gateway="gw", ttl=1
+        )
+        assert ForwardedBatchQuery.from_xml(forwarded.to_xml()).origin_domain == hostile
+
+    def test_ttl_validated(self):
+        batch = XacmlAuthzDecisionBatchQuery.for_requests(
+            [RequestContext.simple("a", "r", "read")], issuer="g",
+            issue_instant=0.0,
+        )
+        with pytest.raises(ValueError, match="TTL"):
+            ForwardedBatchQuery(
+                batch=batch, origin_domain="d", origin_gateway="g", ttl=0
+            )
+
+
+class TestRemoteDecisionFlow:
+    def test_remote_resource_decided_by_governing_domain(self):
+        network, peps, hubs = build_two_domains()
+        done = []
+        peps["west"].submit(
+            RequestContext.simple("alice", "res.east", "read"), done.append
+        )
+        network.run(until=network.now + 5.0)
+        assert len(done) == 1
+        assert done[0].granted and done[0].source == "pdp"
+        assert hubs["west"].forwarded_batches_sent == 1
+        assert hubs["west"].requests_forwarded == 1
+        assert hubs["west"].remote_decisions_delivered == 1
+        assert hubs["east"].forwarded_batches_served == 1
+        assert hubs["east"].forwarded_decisions_returned == 1
+        assert network.metrics.sent_by_kind[FORWARD_ACTION] == 1
+        # The envelope went gateway→gateway, not PEP→remote-PDP.
+        assert hubs["west"].super_batches_sent == 0
+
+    def test_mixed_batch_splits_local_and_remote(self):
+        network, peps, hubs = build_two_domains()
+        done = []
+        peps["west"].submit(
+            RequestContext.simple("alice", "res.west", "read"), done.append
+        )
+        peps["west"].submit(
+            RequestContext.simple("alice", "res.east", "read"), done.append
+        )
+        network.run(until=network.now + 5.0)
+        assert len(done) == 2
+        assert all(result.granted for result in done)
+        assert hubs["west"].super_batches_sent == 1  # local slot
+        assert hubs["west"].forwarded_batches_sent == 1  # remote slot
+
+    def test_remote_deny_stays_deny(self):
+        network, peps, hubs = build_two_domains()
+        done = []
+        peps["west"].submit(
+            RequestContext.simple("eve", "res.east", "read"), done.append
+        )
+        network.run(until=network.now + 5.0)
+        assert len(done) == 1
+        assert not done[0].granted and done[0].source == "pdp"
+
+
+class TestFailSafeEdges:
+    def test_unknown_remote_domain_denies_fail_safe(self):
+        resolvers = {"west": {**DIRECTORY, "res.limbo": "limbo"}}
+        network, peps, hubs = build_two_domains(resolvers=resolvers)
+        done = []
+        peps["west"].submit(
+            RequestContext.simple("alice", "res.limbo", "read"), done.append
+        )
+        network.run(until=network.now + 5.0)
+        assert len(done) == 1
+        assert not done[0].granted and done[0].source == "fail-safe"
+        assert hubs["west"].unknown_domain_denials == 1
+        assert network.metrics.counters["federation.unknown_domain"] == 1
+        assert hubs["west"].forwarded_batches_sent == 0
+
+    def test_unreachable_peer_gateway_denies_fail_safe(self):
+        network, peps, hubs = build_two_domains()
+        hubs["east"].crash()
+        done = []
+        peps["west"].submit(
+            RequestContext.simple("alice", "res.east", "read"), done.append
+        )
+        network.run(until=network.now + 10.0)
+        assert len(done) == 1
+        assert not done[0].granted and done[0].source == "fail-safe"
+        assert hubs["west"].peer_failures == 1
+        assert network.metrics.counters["federation.peer_unreachable"] == 1
+
+    def test_forwarding_loop_cut_by_ttl(self):
+        """Two domains with conflicting directories bounce a request
+        between them; the TTL ends the chain in a fail-safe deny."""
+        resolvers = {
+            "west": {**DIRECTORY, "res.ghost": "east"},
+            "east": {**DIRECTORY, "res.ghost": "west"},
+        }
+        network, peps, hubs = build_two_domains(
+            resolvers=resolvers, forward_ttl=2
+        )
+        done = []
+        peps["west"].submit(
+            RequestContext.simple("alice", "res.ghost", "read"), done.append
+        )
+        network.run(until=network.now + 10.0)
+        assert len(done) == 1
+        assert not done[0].granted
+        # west forwarded (ttl 2), east re-forwarded (ttl 1), west cut it.
+        assert hubs["east"].forwarded_batches_sent == 1
+        assert hubs["west"].ttl_denials == 1
+        assert network.metrics.counters["federation.ttl_expired"] == 1
+        # Exactly two forwards crossed the wire — the loop is bounded.
+        assert network.metrics.sent_by_kind[FORWARD_ACTION] == 2
+
+    def test_unregistered_origin_rejected(self):
+        network, peps, hubs = build_two_domains(connect=False)
+        hubs["west"].add_peer("east", hubs["east"].name)
+        # east never called allow_origin("west", ...): the forward is
+        # refused and the origin fails safe.
+        done = []
+        peps["west"].submit(
+            RequestContext.simple("alice", "res.east", "read"), done.append
+        )
+        network.run(until=network.now + 10.0)
+        assert len(done) == 1
+        assert not done[0].granted and done[0].source == "fail-safe"
+        assert hubs["east"].origin_rejections == 1
+        assert hubs["east"].forwarded_batches_served == 0
+        assert network.metrics.counters["federation.origin_rejected"] == 1
+
+
+def build_secure_vo(trust_decision=True):
+    """Two VO domains with real identities and a cross-certified root."""
+    network = Network(seed=93)
+    keystore = KeyStore(seed=93)
+    vo = VirtualOrganization("secvo", network, keystore, with_root_ca=True)
+    west = vo.create_domain("west").standard_layout()
+    east = vo.create_domain("east").standard_layout()
+    if trust_decision:
+        vo.establish_mutual_trust("west", "east", TrustKind.DECISION)
+    east.pap.publish(policy_for("res.east"))
+    west.pap.publish(policy_for("res.west"))
+    directory = ResourceDirectory()
+    directory.register("res.west", "west")
+    directory.register("res.east", "east")
+    gw_west = west.create_gateway(
+        resolve_domain=directory.resolver(),
+        secure_channel=True,
+        max_batch=8,
+        max_delay=0.001,
+    )
+    gw_east = east.create_gateway(
+        resolve_domain=directory.resolver(),
+        secure_channel=True,
+        max_batch=8,
+        max_delay=0.001,
+    )
+    connected = federate_gateways(vo.trust, [gw_west, gw_east])
+    pep = west.create_pep("portal", config=PepConfig(decision_cache_ttl=0.0))
+    pep.enable_batching(max_batch=4, max_delay=0.001, gateway=gw_west)
+    return network, vo, gw_west, gw_east, pep, connected
+
+
+class TestSecureFederation:
+    def test_signed_forward_round_trip(self):
+        network, vo, gw_west, gw_east, pep, connected = build_secure_vo()
+        assert sorted(connected) == [("east", "west"), ("west", "east")]
+        done = []
+        pep.submit(
+            RequestContext.simple("alice", "res.east", "read"), done.append
+        )
+        network.run(until=network.now + 5.0)
+        assert len(done) == 1
+        assert done[0].granted and done[0].source == "pdp"
+        assert gw_east.forwarded_batches_served == 1
+        assert gw_east.origin_rejections == 0
+
+    def test_wrong_signer_rejected(self):
+        network, vo, gw_west, gw_east, pep, _ = build_secure_vo()
+        # Re-pin east's accepted origin to a different component: the
+        # genuine (validly signed!) forward no longer matches the pinned
+        # peer gateway and must be rejected.
+        gw_east.allow_origin("west", "pdp.west")
+        done = []
+        pep.submit(
+            RequestContext.simple("alice", "res.east", "read"), done.append
+        )
+        network.run(until=network.now + 10.0)
+        assert len(done) == 1
+        assert not done[0].granted and done[0].source == "fail-safe"
+        assert gw_east.origin_rejections == 1
+        assert gw_east.forwarded_batches_served == 0
+
+    def test_federate_gateways_requires_decision_trust(self):
+        network, vo, gw_west, gw_east, pep, connected = build_secure_vo(
+            trust_decision=False
+        )
+        assert connected == []
+        assert gw_west.peer_domains == []
+        # Without the trust edge the remote request cannot route: deny.
+        done = []
+        pep.submit(
+            RequestContext.simple("alice", "res.east", "read"), done.append
+        )
+        network.run(until=network.now + 5.0)
+        assert len(done) == 1
+        assert not done[0].granted and done[0].source == "fail-safe"
+        assert gw_west.unknown_domain_denials == 1
+
+    def test_duplicate_domain_gateways_rejected(self):
+        network, vo, gw_west, gw_east, pep, _ = build_secure_vo()
+        with pytest.raises(ValueError, match="two gateways"):
+            federate_gateways(TrustGraph(), [gw_west, gw_west])
+
+
+class TestFederatedRevocation:
+    def test_remote_revocation_reaches_the_federated_path(self):
+        """A revocation issued in the governing domain must bite a PEP
+        in *another* domain that cached a federated decision."""
+        network, peps, hubs = build_two_domains(cache_ttl=3600.0)
+        bus = InvalidationBus(network)
+        authority = RevocationAuthority("authority.east", network, bus=bus)
+        agent = CoherenceAgent(
+            "coherence.west", network, "authority.east", PushStrategy(bus)
+        )
+        agent.protect_pep(peps["west"])
+        request = RequestContext.simple("alice", "res.east", "read")
+        done = []
+        peps["west"].submit(request, done.append)
+        network.run(until=network.now + 5.0)
+        assert done and done[0].granted and done[0].source == "pdp"
+        # Cached now: a resubmission completes synchronously from cache.
+        assert peps["west"].submit(request, done.append) is True
+        assert done[1].source == "cache"
+        # The governing domain revokes the subject; the push reaches the
+        # remote coherence agent and the cached grant dies with it.
+        authority.registry.revoke_subject_access("alice")
+        network.run(until=network.now + 2.0)
+        assert agent.records_applied == 1
+        assert peps["west"].submit(request, done.append) is True
+        assert not done[2].granted
+        assert done[2].source == "revocation"
+        assert peps["west"].revocation_denials == 1

@@ -1,6 +1,5 @@
 """Tests for the standard obligation-handler library."""
 
-import pytest
 
 from repro.components import (
     AUDIT_OBLIGATION,
@@ -127,7 +126,7 @@ class TestEndToEndQuota:
                 obligations=(Obligation(QUOTA_OBLIGATION, Decision.PERMIT),),
             )
         )
-        pdp = PolicyDecisionPoint("pdp", network, pap_address="pap")
+        PolicyDecisionPoint("pdp", network, pap_address="pap")
         pep = PolicyEnforcementPoint("pep", network, pdp_address="pdp")
         trail, ledger = register_standard_handlers(pep)
         ledger.set_limit("alice", 3)

@@ -16,7 +16,6 @@ from repro.components import (
 )
 from repro.simnet import Network
 from repro.xacml import (
-    Decision,
     Policy,
     combining,
     deny_rule,

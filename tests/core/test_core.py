@@ -20,7 +20,7 @@ from repro.core import (
     push_sequence,
     register_pdp,
 )
-from repro.domain import AdministrativeDomain, build_federation
+from repro.domain import build_federation
 from repro.simnet import Network
 from repro.wss import KeyStore
 from repro.wsvc import ServiceRegistry

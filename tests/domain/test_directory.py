@@ -1,0 +1,64 @@
+"""The VO-wide resource directory and its gateway resolver."""
+
+import pytest
+
+from repro.domain import (
+    AdministrativeDomain,
+    ResourceDirectory,
+    build_directory,
+)
+from repro.simnet import Network
+from repro.wss import KeyStore
+from repro.xacml import RequestContext
+
+
+class TestResourceDirectory:
+    def test_register_and_resolve(self):
+        directory = ResourceDirectory()
+        directory.register("res.a", "alpha")
+        directory.register("res.b", "beta")
+        assert directory.domain_of("res.a") == "alpha"
+        assert directory.domain_of("res.missing") is None
+        assert directory.resources_of("alpha") == ["res.a"]
+        assert directory.domains() == {"alpha", "beta"}
+        assert len(directory) == 2
+
+    def test_reregistration_same_domain_is_idempotent(self):
+        directory = ResourceDirectory()
+        directory.register("res.a", "alpha")
+        directory.register("res.a", "alpha")
+        assert len(directory) == 1
+
+    def test_conflicting_registration_rejected(self):
+        directory = ResourceDirectory()
+        directory.register("res.a", "alpha")
+        with pytest.raises(ValueError, match="already governed"):
+            directory.register("res.a", "beta")
+
+    def test_transfer_moves_governance_explicitly(self):
+        directory = ResourceDirectory()
+        directory.register("res.a", "alpha")
+        directory.transfer("res.a", "beta")
+        assert directory.domain_of("res.a") == "beta"
+
+    def test_default_domain_for_unknown_resources(self):
+        directory = ResourceDirectory(default_domain="hub")
+        assert directory.domain_of("anything") == "hub"
+
+    def test_resolver_reads_the_request_resource(self):
+        directory = ResourceDirectory()
+        directory.register("res.a", "alpha")
+        resolve = directory.resolver()
+        assert resolve(RequestContext.simple("u", "res.a", "read")) == "alpha"
+        assert resolve(RequestContext.simple("u", "res.x", "read")) is None
+
+    def test_build_directory_from_domains(self):
+        network = Network(seed=5)
+        keystore = KeyStore(seed=5)
+        alpha = AdministrativeDomain("alpha", network, keystore).standard_layout()
+        beta = AdministrativeDomain("beta", network, keystore).standard_layout()
+        alpha.expose_resource("db")
+        beta.expose_resource("files")
+        directory = build_directory([alpha, beta])
+        assert directory.domain_of("db") == "alpha"
+        assert directory.domain_of("files") == "beta"

@@ -4,17 +4,13 @@ import pytest
 
 from repro.capability import (
     CapabilityEnforcer,
-    CapabilityRequest,
-    CapabilityScope,
     CapabilityVerifier,
     CommunityAuthorizationService,
-    capability_from_payload,
 )
 from repro.core import (
     AccessControlSystem,
     ClientAgent,
     SystemConfig,
-    pull_sequence,
     push_sequence,
 )
 from repro.domain import TrustKind, build_federation

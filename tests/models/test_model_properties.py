@@ -11,7 +11,6 @@ Invariants:
   the same conflict class.
 """
 
-import random
 
 from hypothesis import given, settings, strategies as st
 

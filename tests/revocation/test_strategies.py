@@ -22,13 +22,7 @@ from repro.revocation import (
     subject_access_target,
 )
 from repro.simnet import Network
-from repro.xacml import (
-    Policy,
-    combining,
-    deny_rule,
-    permit_rule,
-    subject_resource_action_target,
-)
+from repro.xacml import Policy, combining, permit_rule
 
 
 def permissive_policy():
@@ -386,7 +380,7 @@ class TestPullStrategy:
         rogue = Component("authority", network)
         rogue.on(CRL_ACTION, lambda message: "<NotACrl/>")
         strategy = PullStrategy(interval=2.0)
-        agent = CoherenceAgent("coherence", network, "authority", strategy)
+        CoherenceAgent("coherence", network, "authority", strategy)
         network.run(until=network.now + 5.0)
         assert strategy.polls >= 2
         assert strategy.failed_polls == strategy.polls

@@ -13,9 +13,7 @@ from repro.components import (
 )
 from repro.simnet import Network
 from repro.workloads import (
-    WorkloadSpec,
     access_requests,
-    request_stream,
     run_closed_loop,
     run_closed_loop_multi,
 )

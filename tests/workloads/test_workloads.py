@@ -1,6 +1,5 @@
 """Tests for workload generation and the named scenarios."""
 
-import pytest
 
 from repro.simnet import Network
 from repro.workloads import (

@@ -10,12 +10,9 @@ from repro.xacml import (
     Policy,
     PolicySet,
     RequestContext,
-    Status,
-    boolean,
     combining,
     deny_rule,
     evaluate_element,
-    literal,
     permit_rule,
     string,
     subject_resource_action_target,
@@ -235,7 +232,7 @@ class TestPolicySet:
         assert [p.policy_id for p in outer.flatten()] == ["p1", "p2"]
 
     def test_indeterminate_condition_propagates(self):
-        from repro.xacml import Category, DataType, apply_, designator
+        from repro.xacml import Category, apply_, designator
         from repro.xacml.functions import FUNCTION_PREFIX_1_0
 
         broken = Policy(

@@ -6,7 +6,6 @@ organisational units" — references are the mechanism that composition
 rides on.
 """
 
-import pytest
 
 from repro.xacml import (
     Decision,

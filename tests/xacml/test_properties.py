@@ -9,7 +9,6 @@ Invariants checked:
 * request cache keys are stable under attribute reordering.
 """
 
-import random
 
 from hypothesis import given, settings, strategies as st
 
