@@ -8,7 +8,11 @@ so every PR records where the headline experiments stand:
 * **E15** — revocation propagation: staleness window vs message cost;
 * **E16** — per-PEP batched fabric: decisions/s, msgs/decision;
 * **E17** — domain gateway vs the per-PEP baseline at equal load;
-* **E18** — cross-domain federation vs per-PEP direct remote access.
+* **E18** — cross-domain federation vs per-PEP direct remote access;
+* **E18c** — gateway-tier remote-decision cache (msgs/decision cut,
+  zero post-coherence-window stale grants);
+* **E18d** — TTL'd directory service vs the in-process baseline
+  (misroutes re-forwarded, grant parity).
 
 Runs everything in smoke dimensions (the module forces
 ``REPRO_BENCH_SMOKE=1`` before importing the benchmark modules, whose
@@ -152,6 +156,91 @@ def collect_e18() -> dict:
     }
 
 
+def collect_e18_cache() -> dict:
+    """Gateway-tier remote-decision cache: cost cut + priced staleness.
+
+    One hot-subject grid cell (remote fraction 0.5) per cache setting,
+    each with the mid-run revocation the staleness audit prices.  The
+    violations metric is the PR 5 headline: grants of the revoked
+    subject completing after the coherence window (must stay 0).
+    """
+    import test_e18_federation as e18
+
+    configs = {}
+    for label, cache_ttl in (
+        ("cache_off", 0.0),
+        ("cache_on", e18.COVERING_TTL),
+    ):
+        stats, hubs, audit = e18.run_cache_cell(0.5, cache_ttl)
+        cache_stats = [hub.remote_cache_stats() for hub in hubs]
+        lookups = sum(s["hits"] + s["misses"] for s in cache_stats)
+        configs[label] = {
+            "decisions_per_sec": round(stats.fleet.decisions_per_sec, 1),
+            "msgs_per_decision": round(stats.fleet.messages_per_decision, 4),
+            "requests_forwarded": sum(
+                hub.requests_forwarded for hub in hubs
+            ),
+            "cache_hits": sum(hub.remote_cache_hits for hub in hubs),
+            "hit_ratio": round(
+                sum(s["hits"] for s in cache_stats) / lookups, 4
+            )
+            if lookups
+            else 0.0,
+            "stale_grants_in_window": audit.stale_grants_in_window,
+            "stale_grant_violations": audit.violation_count,
+        }
+    return {
+        "description": "gateway remote-decision cache at remote fraction "
+        f"0.5, {e18.GRID_SUBJECTS} hot subjects, revocation at "
+        f"t={e18.REVOKE_AT}s, coherence window {e18.COHERENCE_WINDOW}s "
+        f"({e18.GRID_EVENTS} requests/PEP)",
+        "configs": configs,
+    }
+
+
+def collect_e18_directory() -> dict:
+    """Directory service staleness: misroutes repaired, grants intact."""
+    import test_e18_federation as e18
+
+    configs = {}
+    rows = (
+        ("inproc", dict(directory_mode="inproc")),
+        (
+            "service_ttl_long",
+            dict(
+                directory_mode="service",
+                directory_ttl=e18.DIRECTORY_TTLS["long"],
+            ),
+        ),
+    )
+    for label, kwargs in rows:
+        network, stats, hubs, clients = e18.run_directory_profile_row(
+            **kwargs
+        )
+        configs[label] = {
+            "msgs_per_decision": round(stats.fleet.messages_per_decision, 4),
+            "granted": stats.fleet.granted,
+            "misroutes_detected": sum(
+                hub.misroutes_detected for hub in hubs
+            ),
+            "misroutes_reforwarded": sum(
+                hub.misroutes_reforwarded for hub in hubs
+            ),
+            "lookup_msgs": network.metrics.sent_by_kind.get(
+                e18.LOOKUP_ACTION, 0
+            ),
+        }
+    configs["grant_parity"] = int(
+        configs["inproc"]["granted"]
+        == configs["service_ttl_long"]["granted"]
+    )
+    return {
+        "description": "TTL'd directory service vs in-process baseline, "
+        f"governance transfer at t={e18.TRANSFER_AT}s",
+        "configs": configs,
+    }
+
+
 def collect() -> dict:
     summary = {
         "schema": 2,
@@ -162,11 +251,14 @@ def collect() -> dict:
             "E16": collect_e16(),
             "E17": collect_e17(),
             "E18": collect_e18(),
+            "E18c": collect_e18_cache(),
+            "E18d": collect_e18_directory(),
         },
     }
     e16 = summary["experiments"]["E16"]["configs"]
     e17 = summary["experiments"]["E17"]["configs"]
     e18 = summary["experiments"]["E18"]["configs"]
+    e18c = summary["experiments"]["E18c"]["configs"]
     # The headline trajectory numbers, hoisted for easy diffing per PR.
     # check_regression.py gates CI on these: *_decisions_per_sec must
     # not drop, *_msgs_per_decision and staleness must not rise, by
@@ -181,6 +273,12 @@ def collect() -> dict:
         ],
         "federation_msgs_per_decision": e18["federated"][
             "msgs_per_decision"
+        ],
+        "gateway_cache_msgs_per_decision": e18c["cache_on"][
+            "msgs_per_decision"
+        ],
+        "gateway_cache_stale_grants": e18c["cache_on"][
+            "stale_grant_violations"
         ],
         "push_staleness_s": summary["experiments"]["E15"]["strategies"][
             "push"

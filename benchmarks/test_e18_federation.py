@@ -41,8 +41,20 @@ from repro.components import (
     PolicyEnforcementPoint,
 )
 from repro.simnet import INTRA_DOMAIN_LATENCY, Link, Network
-from repro.domain import ResourceDirectory
+from repro.domain import (
+    DirectoryClient,
+    DirectoryService,
+    LOOKUP_ACTION,
+    ResourceDirectory,
+)
+from repro.revocation import (
+    CoherenceAgent,
+    InvalidationBus,
+    PushStrategy,
+    RevocationAuthority,
+)
 from repro.workloads import (
+    StalenessAudit,
     federated_resource_id,
     multi_domain_request_mix,
     run_closed_loop_federated,
@@ -245,6 +257,9 @@ def drive(
     remote_fraction: float,
     events: int = EVENTS,
     concurrency: int = CONCURRENCY,
+    subjects: int = SUBJECTS,
+    read_fraction: float = 0.9,
+    observer=None,
 ):
     names = sorted(peps_by_domain)
     requests_by_domain = {}
@@ -256,13 +271,17 @@ def drive(
                 events,
                 remote_fraction,
                 resources_per_domain=RESOURCES_PER_DOMAIN,
-                subjects=SUBJECTS,
+                subjects=subjects,
+                read_fraction=read_fraction,
                 seed=1000 + 37 * domain_index + pep_index,
             )
             for pep_index in range(len(peps_by_domain[name]))
         ]
     return run_closed_loop_federated(
-        peps_by_domain, requests_by_domain, concurrency=concurrency
+        peps_by_domain,
+        requests_by_domain,
+        concurrency=concurrency,
+        observer=observer,
     )
 
 
@@ -411,3 +430,568 @@ def test_e18_remote_fraction_cost_profile():
         f"msgs/decision grew {ratio:.2f}x while remote share grew "
         f"{share_ratio:.2f}x — forwarding is not amortising"
     )
+
+
+# -- E18c: the gateway-tier remote-decision cache ------------------------------------
+
+#: Hot-subject population for the cache grid: identities must repeat
+#: across PEPs and across time for a decision cache to have anything to
+#: amortise (the VO-wide SUBJECTS population is deliberately too cold).
+GRID_SUBJECTS = 4
+#: The grid keeps full-length streams even under smoke: a decision
+#: cache needs enough reuse distance per cell for the TTL sweep to
+#: mean anything, and one 2-domain cell is still CI-sized.
+GRID_EVENTS = 160
+#: remote-decision cache TTLs swept by the grid; 0 is the PR 4
+#: baseline, 0.05 is deliberately undersized (expires mid-run), 1.0
+#: covers the whole run (the recommended shape: bound staleness with
+#: coherence, not with a TTL shorter than the reuse distance).
+GRID_CACHE_TTLS = (0.0, 0.05, 1.0)
+COVERING_TTL = 1.0
+GRID_FRACTIONS = (0.2, 0.5) if SMOKE else (0.2, 0.5, 0.8)
+#: The mid-run revocation the staleness audit prices.
+REVOKED_SUBJECT = "user-0"
+REVOKE_AT = 0.03
+#: Post-revocation tolerance: one push propagation plus in-flight
+#: round-trip slack.  A grant completing later than this is a violation.
+COHERENCE_WINDOW = 0.1
+
+
+def publish_revoked_policies(pap, domain_name: str, subject_id: str) -> None:
+    """Revised per-resource policies: the subject is now denied.
+
+    The governing domain's *authoritative* revocation — fresh decisions
+    deny from here on; what the experiment measures is how long caches
+    keep serving the old world.
+    """
+    for index in range(RESOURCES_PER_DOMAIN):
+        pap.publish(
+            Policy(
+                policy_id=f"{domain_name}-res-{index}-policy",
+                target=subject_resource_action_target(
+                    resource_id=federated_resource_id(domain_name, index)
+                ),
+                rules=(
+                    deny_rule(
+                        "revoked-subject",
+                        target=subject_resource_action_target(
+                            subject_id=subject_id
+                        ),
+                    ),
+                    permit_rule(
+                        "reads",
+                        target=subject_resource_action_target(
+                            action_id="read"
+                        ),
+                    ),
+                    deny_rule("rest"),
+                ),
+                rule_combining=combining.RULE_FIRST_APPLICABLE,
+            )
+        )
+
+
+def build_cached_vo(
+    domains: int = 2,
+    replicas: int = 1,
+    peps_per_domain: int = PEPS_PER_DOMAIN,
+    remote_cache_ttl: float = 0.0,
+    seed: int = 18,
+):
+    """The federated VO of :func:`build_vo` plus the coherence plane.
+
+    Every domain's gateway runs the remote-decision cache at
+    ``remote_cache_ttl``; one VO-wide revocation authority pushes
+    records over the invalidation bus to a per-domain
+    :class:`CoherenceAgent` protecting that domain's gateway, and every
+    PDP subscribes to its PAP's change notifications (intra-domain
+    policy coherence), so a revocation bites fresh decisions
+    immediately and cached ones within the coherence machinery's reach.
+    """
+    network = Network(seed=seed)
+    names = domain_names(domains)
+    directory = ResourceDirectory()
+    local = Link(latency=INTRA_DOMAIN_LATENCY)
+    bus = InvalidationBus(network)
+    authority = RevocationAuthority("authority.vo", network, bus=bus)
+    replica_names: dict[str, list[str]] = {}
+    paps = {}
+    for name in names:
+        pap = PolicyAdministrationPoint(f"pap.{name}", network, domain=name)
+        publish_domain_policies(pap, name)
+        paps[name] = pap
+        pdps = [
+            PolicyDecisionPoint(
+                f"pdp-{index}.{name}",
+                network,
+                domain=name,
+                pap_address=pap.name,
+                config=PdpConfig(
+                    policy_cache_ttl=3600.0,
+                    envelope_overhead=ENVELOPE_OVERHEAD,
+                    decision_service_time=DECISION_SERVICE_TIME,
+                ),
+            )
+            for index in range(replicas)
+        ]
+        replica_names[name] = [pdp.name for pdp in pdps]
+        for pdp in pdps:
+            network.set_link(pdp.name, pap.name, local)
+            pdp.subscribe_to_policy_changes()
+        for index in range(RESOURCES_PER_DOMAIN):
+            directory.register(federated_resource_id(name, index), name)
+    resolver = directory.resolver()
+    gateways: list[FederatedGateway] = []
+    peps_by_domain: dict[str, list[PolicyEnforcementPoint]] = {}
+    for name in names:
+        hub = FederatedGateway(
+            f"gateway.{name}",
+            network,
+            DecisionDispatcher(replica_names[name], policy="least-outstanding"),
+            domain=name,
+            resolve_domain=resolver,
+            max_batch=gateway_batch_for(peps_per_domain, replicas),
+            max_delay=FLUSH_DELAY,
+            forward_delay=FORWARD_DELAY,
+            remote_cache_ttl=remote_cache_ttl,
+        )
+        gateways.append(hub)
+        for replica in replica_names[name]:
+            network.set_link(hub.name, replica, local)
+        agent = CoherenceAgent(
+            f"coherence.{name}",
+            network,
+            authority.name,
+            PushStrategy(bus),
+            domain=name,
+        )
+        agent.protect_gateway(hub)
+        peps = []
+        for index in range(peps_per_domain):
+            pep = PolicyEnforcementPoint(
+                f"pep-{index}.{name}",
+                network,
+                domain=name,
+                config=PepConfig(decision_cache_ttl=0.0),
+            )
+            pep.enable_batching(
+                max_batch=PEP_BATCH, max_delay=FLUSH_DELAY, gateway=hub
+            )
+            peps.append(pep)
+        peps_by_domain[name] = peps
+    for origin in gateways:
+        for target in gateways:
+            if origin is not target:
+                origin.add_peer(target.domain, target.name)
+                target.allow_origin(origin.domain, origin.name)
+    return network, peps_by_domain, gateways, paps, authority
+
+
+def schedule_revocation(network, paps, authority, audit) -> None:
+    """Mid-run: every domain's policies drop the subject + one record."""
+
+    def fire() -> None:
+        audit.mark_revoked(network.now)
+        for name, pap in sorted(paps.items()):
+            publish_revoked_policies(pap, name, REVOKED_SUBJECT)
+        authority.registry.revoke_subject_access(REVOKED_SUBJECT)
+
+    network.loop.schedule(REVOKE_AT, fire, label="e18c-revoke")
+
+
+def run_cache_cell(
+    remote_fraction: float,
+    cache_ttl: float,
+    events: int = None,
+    seed: int = 18,
+):
+    """One grid cell: hot workload + mid-run revocation, audited."""
+    network, peps_by_domain, hubs, paps, authority = build_cached_vo(
+        2, 1, remote_cache_ttl=cache_ttl, seed=seed
+    )
+    audit = StalenessAudit(REVOKED_SUBJECT, COHERENCE_WINDOW)
+    schedule_revocation(network, paps, authority, audit)
+    stats = drive(
+        network,
+        peps_by_domain,
+        remote_fraction,
+        events=events if events is not None else GRID_EVENTS,
+        subjects=GRID_SUBJECTS,
+        read_fraction=1.0,
+        observer=audit,
+    )
+    return stats, hubs, audit
+
+
+def test_e18c_gateway_cache_grid():
+    """Gateway-tier caching strictly cuts msgs/decision, stale-free.
+
+    Grid: cache off/short/long × remote fraction, every cell carrying a
+    mid-run revocation of a hot subject.  Acceptance: at every remote
+    fraction >= 0.2, each cache-on cell moves strictly fewer messages
+    per decision than the cache-off (PR 4) cell — with *zero* grants of
+    the revoked subject completing after the coherence window.
+    """
+    experiment = Experiment(
+        exp_id="E18c",
+        title="Gateway-tier remote-decision cache: message cost vs "
+        f"priced staleness (2 domains, {PEPS_PER_DOMAIN} PEPs/domain, "
+        f"{GRID_SUBJECTS} hot subjects, revoke at t={REVOKE_AT}s)",
+        paper_claim="§3.2: enforcement-side caching cuts cross-domain "
+        "round trips but 'reduces the flexibility of revoking old "
+        "access control rules'; time-bounded validity plus selective "
+        "invalidation makes the trade a dial",
+        columns=[
+            "remote_frac",
+            "cache_ttl",
+            "msgs_per_decision",
+            "decisions_per_sec",
+            "requests_forwarded",
+            "cache_hits",
+            "hit_ratio",
+            "fenced",
+            "stale_in_window",
+            "violations",
+        ],
+    )
+    for remote_fraction in GRID_FRACTIONS:
+        baseline_msgs = None
+        baseline_forwarded = None
+        for cache_ttl in GRID_CACHE_TTLS:
+            stats, hubs, audit = run_cache_cell(remote_fraction, cache_ttl)
+            total = 2 * PEPS_PER_DOMAIN * GRID_EVENTS
+            assert stats.fleet.completed == total
+            # The revocation genuinely bit mid-run and traffic kept
+            # flowing past the coherence window.
+            assert audit.revoked_at is not None
+            assert audit.denials_after > 0
+            assert stats.fleet.duration > REVOKE_AT + COHERENCE_WINDOW
+            cache_stats = [hub.remote_cache_stats() for hub in hubs]
+            hits = sum(hub.remote_cache_hits for hub in hubs)
+            forwarded = sum(hub.requests_forwarded for hub in hubs)
+            lookups = sum(s["hits"] + s["misses"] for s in cache_stats)
+            experiment.add_row(
+                remote_fraction,
+                cache_ttl,
+                round(stats.fleet.messages_per_decision, 4),
+                round(stats.fleet.decisions_per_sec, 1),
+                forwarded,
+                hits,
+                round(sum(s["hits"] for s in cache_stats) / lookups, 3)
+                if lookups
+                else 0.0,
+                sum(hub.remote_cache_fenced for hub in hubs),
+                audit.stale_grants_in_window,
+                audit.violation_count,
+            )
+            # Zero post-coherence-window stale grants, every cell.
+            assert audit.violation_count == 0, (
+                f"frac={remote_fraction} ttl={cache_ttl}: "
+                f"{audit.violation_count} stale grants after the window"
+            )
+            if cache_ttl == 0.0:
+                assert hits == 0
+                baseline_msgs = stats.fleet.messages_per_decision
+                baseline_forwarded = forwarded
+                continue
+            # Every cache-on cell strictly cuts the cross-domain
+            # request traffic the cache exists to amortise...
+            assert hits > 0, (
+                f"frac={remote_fraction} ttl={cache_ttl}: cache never hit"
+            )
+            assert forwarded < baseline_forwarded, (
+                f"frac={remote_fraction} ttl={cache_ttl}: caching did "
+                "not cut forwarded requests"
+            )
+            # ...and a TTL covering the reuse distance cuts *total*
+            # messages per decision vs the PR 4 (cache-off) federation
+            # at every remote fraction.  (An undersized TTL can spend
+            # its savings on drain fragmentation — the grid shows that
+            # dial position rather than hiding it.)
+            if cache_ttl == COVERING_TTL:
+                assert (
+                    stats.fleet.messages_per_decision < baseline_msgs
+                ), (
+                    f"frac={remote_fraction} ttl={cache_ttl}: caching "
+                    "did not cut msgs/decision vs the cache-off baseline"
+                )
+    experiment.note(
+        "every cell revokes the hot subject mid-run: all domains publish "
+        "deny policies (authoritative change; PDPs are change-subscribed) "
+        "and the registry pushes one record to each domain's coherence "
+        "agent, which selectively invalidates its gateway's remote cache"
+    )
+    experiment.note(
+        "violations counts grants of the revoked subject completing "
+        f"later than {COHERENCE_WINDOW}s after the revocation; grants "
+        "inside the window are the *priced* staleness (stale_in_window)"
+    )
+    experiment.show()
+
+
+# -- E18d: directory service staleness ------------------------------------------------
+
+#: Mid-run, *after* every domain's lookup cache has warmed the moving
+#: resource — a transfer before first use would be resolved fresh and
+#: show no staleness at all.
+TRANSFER_AT = 0.15
+DIRECTORY_TTLS = {"short": 0.01, "long": 10.0}
+
+
+def build_directory_vo(
+    directory_mode: str = "inproc",
+    directory_ttl: float = 0.02,
+    subscribe: bool = False,
+    domains: int = 2,
+    replicas: int = 1,
+    peps_per_domain: int = PEPS_PER_DOMAIN,
+    seed: int = 18,
+):
+    """A federated VO whose directory is either in-process or a service.
+
+    One resource (``res.dom0.0``, the "moving" resource) has identical
+    permit-read policies published in *both* dom0 and dom1, so its
+    decisions are routing-independent: mid-run governance transfer can
+    only move messages, never grants — which is exactly what lets the
+    profile assert grant parity against the in-process baseline while
+    the misroute counters show where stale routing had to be repaired.
+
+    Returns ``(network, peps_by_domain, hubs, transfer, lookup_state)``
+    where ``transfer()`` performs the scheduled governance move through
+    whichever directory tier is in play.
+    """
+    if directory_mode not in ("inproc", "service"):
+        raise ValueError(f"unknown directory mode {directory_mode!r}")
+    network = Network(seed=seed)
+    names = domain_names(domains)
+    directory = ResourceDirectory()
+    local = Link(latency=INTRA_DOMAIN_LATENCY)
+    moving = federated_resource_id(names[0], 0)
+    replica_names: dict[str, list[str]] = {}
+    for name in names:
+        pap = PolicyAdministrationPoint(f"pap.{name}", network, domain=name)
+        publish_domain_policies(pap, name)
+        if name == names[1]:
+            # The adopted copy of the moving resource's policy: the
+            # destination domain can answer for it identically.
+            pap.publish(
+                Policy(
+                    policy_id=f"{name}-adopted-{moving}-policy",
+                    target=subject_resource_action_target(resource_id=moving),
+                    rules=(
+                        permit_rule(
+                            "reads",
+                            target=subject_resource_action_target(
+                                action_id="read"
+                            ),
+                        ),
+                        deny_rule("rest"),
+                    ),
+                    rule_combining=combining.RULE_FIRST_APPLICABLE,
+                )
+            )
+        pdps = [
+            PolicyDecisionPoint(
+                f"pdp-{index}.{name}",
+                network,
+                domain=name,
+                pap_address=pap.name,
+                config=PdpConfig(
+                    policy_cache_ttl=3600.0,
+                    envelope_overhead=ENVELOPE_OVERHEAD,
+                    decision_service_time=DECISION_SERVICE_TIME,
+                ),
+            )
+            for index in range(replicas)
+        ]
+        replica_names[name] = [pdp.name for pdp in pdps]
+        for pdp in pdps:
+            network.set_link(pdp.name, pap.name, local)
+        for index in range(RESOURCES_PER_DOMAIN):
+            directory.register(federated_resource_id(name, index), name)
+    service = None
+    clients: dict[str, DirectoryClient] = {}
+    if directory_mode == "service":
+        service = DirectoryService("dirsvc", network, directory)
+    gateways: list[FederatedGateway] = []
+    peps_by_domain: dict[str, list[PolicyEnforcementPoint]] = {}
+    for name in names:
+        if directory_mode == "service":
+            client = DirectoryClient(
+                f"dircl.{name}",
+                network,
+                "dirsvc",
+                ttl=directory_ttl,
+                domain=name,
+                subscribe=subscribe,
+            )
+            # A well-placed registry: fast link from each domain's
+            # resolver to the directory service.
+            network.set_link(client.name, "dirsvc", local)
+            clients[name] = client
+            resolve = client.resolver()
+            resolve_authoritative = client.authoritative_resolver()
+        else:
+            resolve = directory.resolver()
+            resolve_authoritative = None
+        hub = FederatedGateway(
+            f"gateway.{name}",
+            network,
+            DecisionDispatcher(replica_names[name], policy="least-outstanding"),
+            domain=name,
+            resolve_domain=resolve,
+            resolve_authoritative=resolve_authoritative,
+            max_batch=gateway_batch_for(peps_per_domain, replicas),
+            max_delay=FLUSH_DELAY,
+            forward_delay=FORWARD_DELAY,
+        )
+        gateways.append(hub)
+        for replica in replica_names[name]:
+            network.set_link(hub.name, replica, local)
+        peps = []
+        for index in range(peps_per_domain):
+            pep = PolicyEnforcementPoint(
+                f"pep-{index}.{name}",
+                network,
+                domain=name,
+                config=PepConfig(decision_cache_ttl=0.0),
+            )
+            pep.enable_batching(
+                max_batch=PEP_BATCH, max_delay=FLUSH_DELAY, gateway=hub
+            )
+            peps.append(pep)
+        peps_by_domain[name] = peps
+    for origin in gateways:
+        for target in gateways:
+            if origin is not target:
+                origin.add_peer(target.domain, target.name)
+                target.allow_origin(origin.domain, origin.name)
+
+    def transfer() -> None:
+        if service is not None:
+            service.transfer(moving, names[1])
+        else:
+            directory.transfer(moving, names[1])
+
+    return network, peps_by_domain, gateways, transfer, clients
+
+
+def run_directory_profile_row(
+    directory_mode: str,
+    directory_ttl: float = 0.02,
+    subscribe: bool = False,
+    remote_fraction: float = 0.5,
+):
+    network, peps_by_domain, hubs, transfer, clients = build_directory_vo(
+        directory_mode,
+        directory_ttl=directory_ttl,
+        subscribe=subscribe,
+    )
+    network.loop.schedule(TRANSFER_AT, transfer, label="e18d-transfer")
+    stats = drive(network, peps_by_domain, remote_fraction)
+    return network, stats, hubs, clients
+
+
+def test_e18d_directory_staleness_profile():
+    """Priced directory staleness: misroutes repaired, grants untouched.
+
+    The in-process directory (PR 4) is the instantly coherent baseline;
+    the service rows pay lookup messages and, when their TTL'd caches
+    go stale across the mid-run governance transfer, misroute requests
+    to the old governing domain — where the serving gateway's
+    authoritative re-check re-forwards them.  Grant counts must match
+    the baseline exactly in every row: stale routing may move messages,
+    never decisions.
+    """
+    experiment = Experiment(
+        exp_id="E18d",
+        title="Directory service staleness (2 domains, remote fraction "
+        f"0.5, governance transfer at t={TRANSFER_AT}s)",
+        paper_claim="the directory is the slow-changing, aggressively "
+        "cacheable piece of shared knowledge; its staleness must "
+        "degrade routing cost, not decision correctness",
+        columns=[
+            "directory",
+            "msgs_per_decision",
+            "lookup_msgs",
+            "notices",
+            "misroutes",
+            "granted",
+        ],
+    )
+    rows = [
+        ("inproc", dict(directory_mode="inproc")),
+        (
+            "svc ttl=short",
+            dict(
+                directory_mode="service",
+                directory_ttl=DIRECTORY_TTLS["short"],
+            ),
+        ),
+        (
+            "svc ttl=long",
+            dict(
+                directory_mode="service",
+                directory_ttl=DIRECTORY_TTLS["long"],
+            ),
+        ),
+        (
+            "svc ttl=long+push",
+            dict(
+                directory_mode="service",
+                directory_ttl=DIRECTORY_TTLS["long"],
+                subscribe=True,
+            ),
+        ),
+    ]
+    results = {}
+    for label, kwargs in rows:
+        network, stats, hubs, clients = run_directory_profile_row(**kwargs)
+        total = 2 * PEPS_PER_DOMAIN * EVENTS
+        assert stats.fleet.completed == total, f"{label}: incomplete run"
+        results[label] = (stats, hubs, network)
+        experiment.add_row(
+            label,
+            round(stats.fleet.messages_per_decision, 4),
+            network.metrics.sent_by_kind.get(LOOKUP_ACTION, 0),
+            sum(client.transfer_notices for client in clients.values()),
+            sum(hub.misroutes_detected for hub in hubs),
+            stats.fleet.granted,
+        )
+    baseline_granted = results["inproc"][0].fleet.granted
+    for label, (stats, hubs, network) in results.items():
+        # The acceptance bar: identical grants in every directory tier.
+        assert stats.fleet.granted == baseline_granted, (
+            f"{label}: {stats.fleet.granted} grants vs in-process "
+            f"baseline {baseline_granted} — staleness moved a decision"
+        )
+    # The stale (long-TTL, no-push) row really misrouted across the
+    # transfer and the serving side repaired every one by re-forwarding.
+    stale_stats, stale_hubs, _ = results["svc ttl=long"]
+    assert sum(hub.misroutes_detected for hub in stale_hubs) > 0
+    assert stale_stats.fleet.granted == baseline_granted
+    # "Repaired" means repaired: in this full-mesh, TTL-budgeted
+    # profile every detected misroute was re-forwarded, none failed
+    # safe.
+    for label, (stats, hubs, network) in results.items():
+        assert sum(hub.misroutes_reforwarded for hub in hubs) == sum(
+            hub.misroutes_detected for hub in hubs
+        ), f"{label}: a detected misroute was not re-forwarded"
+    # Push-patched caches converge without waiting out the TTL: fewer
+    # misroutes than the pure-TTL row.
+    push_hubs = results["svc ttl=long+push"][1]
+    assert sum(hub.misroutes_detected for hub in push_hubs) <= sum(
+        hub.misroutes_detected for hub in stale_hubs
+    )
+    experiment.note(
+        "misroutes = forwarded requests whose serving gateway's "
+        "authoritative re-check named another governing domain; every "
+        "one is re-forwarded (never decided by the wrong tier), which "
+        "is what keeps the grant column identical"
+    )
+    experiment.note(
+        "the moving resource's policy exists identically in origin and "
+        "destination domains, so grant parity isolates *routing* "
+        "correctness; the unit suite pins the differing-policy case"
+    )
+    experiment.show()

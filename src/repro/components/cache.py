@@ -131,14 +131,46 @@ class TtlCache(Generic[K, V]):
         return False
 
     def invalidate_where(self, predicate: Callable[[K], bool]) -> int:
-        """Remove all entries whose key satisfies ``predicate``."""
-        victims = [key for key in self._entries if predicate(key)]
+        """Remove all entries whose key satisfies ``predicate``.
+
+        Returns (and counts as invalidations) only *live* victims —
+        matching entries the clock already killed are expirations, the
+        same bookkeeping discipline as :meth:`clear`.
+        """
+        now = self._clock()
+        removed = 0
+        for key in [key for key in self._entries if predicate(key)]:
+            entry = self._entries.pop(key)
+            if now >= entry.expires_at:
+                self.stats.expirations += 1
+            else:
+                self.stats.invalidations += 1
+                removed += 1
+        return removed
+
+    def purge_expired(self) -> int:
+        """Drop entries past their TTL; returns how many were dropped.
+
+        Expired-but-unevicted entries otherwise linger until their next
+        ``get`` and would be miscounted by bulk operations (a cleared
+        cache is not "invalidating" entries the clock already killed).
+        Callers snapshotting hit ratios purge first so ``len(cache)``
+        reflects only servable entries.
+        """
+        now = self._clock()
+        victims = [
+            key
+            for key, entry in self._entries.items()
+            if now >= entry.expires_at
+        ]
         for key in victims:
             del self._entries[key]
-        self.stats.invalidations += len(victims)
+        self.stats.expirations += len(victims)
         return len(victims)
 
     def clear(self) -> None:
+        """Drop everything; only *live* entries count as invalidations."""
+        self.purge_expired()
         self.stats.invalidations += len(self._entries)
         self._entries.clear()
 

@@ -793,6 +793,14 @@ class DomainDecisionGateway(Component):
         self._inflight_slots: dict[tuple, _WireSlot] = {}
         self._flush_handle: Optional[EventHandle] = None
         self._drain_handle: Optional[EventHandle] = None
+        #: True while a drain step is classifying/dispatching.  A drain
+        #: step may run nested event-loop turns (synchronous directory
+        #: lookups, fail-safe completion callbacks that submit the next
+        #: closed-loop request), during which ``_drain_handle`` is
+        #: None; without this guard a flush arriving in that window
+        #: would start a second, untracked drain chain and break the
+        #: one-envelope-at-a-time pacing.
+        self._draining = False
         self._rr_start = 0
         self.flushes_received = 0
         self.requests_ingested = 0
@@ -879,7 +887,7 @@ class DomainDecisionGateway(Component):
             )
             self._pending_slots[entry.cache_key] = slot
             self._backlog[slot.owner].append(slot)
-        if self._drain_handle is not None:
+        if self._drain_handle is not None or self._draining:
             return  # a drain in progress will pick the new slots up
         if len(self._pending_slots) >= self.max_batch:
             self.flushes_on_size += 1
@@ -910,7 +918,7 @@ class DomainDecisionGateway(Component):
         if self._flush_handle is not None:
             self.network.loop.cancel(self._flush_handle)
             self._flush_handle = None
-        if self._drain_handle is None:
+        if self._drain_handle is None and not self._draining:
             self._drain_step()
 
     def _drain_step(self) -> None:
@@ -920,7 +928,13 @@ class DomainDecisionGateway(Component):
         slots = self._take_super_batch()
         for slot in slots:  # stays put until completion/failure
             self._inflight_slots[slot.cache_key] = slot
-        tx_time = self._dispatch_slots(slots)
+        self._draining = True
+        try:
+            tx_time = self._dispatch_slots(slots)
+        finally:
+            self._draining = False
+        # Slots that arrived while dispatching (nested loop turns) were
+        # deferred to us: this reschedule is what picks them up.
         if self._pending_slots:
             self._drain_handle = self.network.loop.schedule(
                 tx_time, self._drain_step, label="gateway-drain"

@@ -62,9 +62,11 @@ from ..xacml.context import (
     ResponseContext,
     Status,
     StatusCode,
+    cache_key_touches,
 )
 from ..xmlutil import parse_attrs
 from .base import RpcFault
+from .cache import TtlCache
 from .fabric import (
     DecisionDispatcher,
     DomainDecisionGateway,
@@ -173,10 +175,31 @@ class _ServiceContext:
         local_parts: list[_ServicePart] = []
         onward: dict[str, list[_ServicePart]] = {}
         for index, query in enumerate(self.fwd.batch.queries):
-            governing = gateway._governing_domain(query.request)
+            try:
+                governing = gateway._serving_domain(query.request)
+            except Exception as exc:
+                # The authoritative re-check could not be completed:
+                # deciding under this gateway's own (possibly stale)
+                # policy could mis-grant, so the request fails closed.
+                gateway.recheck_failures += 1
+                gateway.network.metrics.bump("federation.recheck_failed")
+                self.statements[index] = gateway._indeterminate_statement(
+                    query,
+                    f"authoritative directory re-check failed: {exc}",
+                )
+                continue
             if governing == gateway.domain:
                 local_parts.append(_ServicePart(self, index, query.request))
-            elif governing in gateway._peers and self.fwd.ttl > 1:
+                continue
+            # The origin believed this gateway governs the resource and
+            # the (authoritative, when configured) serving-side check
+            # disagrees: a misroute — stale origin directory cache or
+            # conflicting configuration.  Never mis-decide it locally;
+            # re-forward (below) or fail safe.
+            gateway.misroutes_detected += 1
+            gateway.network.metrics.bump("federation.misroute")
+            if governing in gateway._peers and self.fwd.ttl > 1:
+                gateway.misroutes_reforwarded += 1
                 onward.setdefault(governing, []).append(
                     _ServicePart(self, index, query.request)
                 )
@@ -290,9 +313,32 @@ class FederatedGateway(DomainDecisionGateway):
     round trip — re-amortises it even when the local closed loop has
     decayed to trickle-sized drains.
 
+    Remote decisions may additionally be cached *at this tier*
+    (``remote_cache_ttl``): the cache key is the slot's bare request
+    identity (PEP scope already stripped by the wire-slot dedup), so one
+    cross-domain round trip serves every PEP behind the gateway for the
+    TTL — the paper's §3.2 caching lever applied to the most expensive
+    hop.  Hits are demultiplexed per PEP exactly like remote replies;
+    misses ride the ordinary forwarded envelope (all waiting PEP slots
+    attached).  Only definitive decisions (Permit/Deny) are cached —
+    fail-safe Indeterminate statements are transient by construction.
+    The staleness this cache adds is bounded by the TTL *and* by
+    revocation coherence: a
+    :class:`~repro.revocation.coherence.CoherenceAgent` protecting the
+    gateway (``protect_gateway``) selectively invalidates entries as
+    revocation records arrive (push/pull/hybrid strategies).
+
     Args:
         resolve_domain: maps a request to its governing domain name;
             None (the callable, or its return value) means local.
+        resolve_authoritative: optional *authoritative* resolver used
+            when serving inbound forwarded batches.  When
+            ``resolve_domain`` reads a TTL'd directory cache (see
+            :class:`~repro.domain.directory_service.DirectoryClient`),
+            a stale origin may misroute requests here; the serving-side
+            re-check detects that and re-forwards to the true governing
+            domain instead of mis-deciding.  Defaults to
+            ``resolve_domain``.
         forward_ttl: gateway hops a forwarded batch may take.
         forward_batch: flush a target domain's buffered slots as soon
             as this many wait (default: the gateway's ``max_batch``).
@@ -301,6 +347,11 @@ class FederatedGateway(DomainDecisionGateway):
             (default: the gateway's ``max_delay``).
         peer_timeout: reply deadline for gateway→gateway envelopes
             (defaults to ``pdp_timeout``).
+        remote_cache_ttl: lifetime of gateway-tier cached remote
+            decisions in simulated seconds; 0 (default) disables the
+            cache — the PR 4 behaviour.
+        remote_cache_capacity: LRU capacity of the remote-decision
+            cache.
     """
 
     def __init__(
@@ -310,10 +361,13 @@ class FederatedGateway(DomainDecisionGateway):
         dispatcher: DecisionDispatcher,
         domain: str,
         resolve_domain: Optional[DomainResolver] = None,
+        resolve_authoritative: Optional[DomainResolver] = None,
         forward_ttl: int = DEFAULT_FORWARD_TTL,
         forward_batch: Optional[int] = None,
         forward_delay: Optional[float] = None,
         peer_timeout: Optional[float] = None,
+        remote_cache_ttl: float = 0.0,
+        remote_cache_capacity: int = 10_000,
         **kwargs,
     ) -> None:
         if not domain:
@@ -330,6 +384,7 @@ class FederatedGateway(DomainDecisionGateway):
             )
         super().__init__(name, network, dispatcher, domain=domain, **kwargs)
         self.resolve_domain = resolve_domain
+        self.resolve_authoritative = resolve_authoritative
         self.forward_ttl = forward_ttl
         self.forward_batch = (
             forward_batch if forward_batch is not None else self.max_batch
@@ -350,11 +405,32 @@ class FederatedGateway(DomainDecisionGateway):
         #: Remote domain -> slots awaiting the next forwarded envelope.
         self._forward_backlog: dict[str, list[_WireSlot]] = {}
         self._forward_handles: dict[str, object] = {}
+        #: Gateway-tier cache of remote decisions, keyed by the bare
+        #: request identity (cache_key) — shared across every PEP
+        #: behind this gateway.
+        self.remote_cache: TtlCache = TtlCache(
+            ttl=remote_cache_ttl,
+            clock=lambda: self.now,
+            capacity=remote_cache_capacity,
+        )
+        #: Invalidation fences: decisions *issued* at or before the
+        #: fence must not (re-)enter the remote cache — an in-flight
+        #: reply granted under the pre-revocation world would otherwise
+        #: re-poison the cache moments after coherence cleaned it.
+        self._remote_fence = 0.0
+        self._subject_fences: dict[str, float] = {}
+        self._resource_fences: dict[str, float] = {}
         self.requests_forwarded = 0
         self.forwarded_batches_sent = 0
         self.forwarded_batches_served = 0
         self.forwarded_decisions_returned = 0
         self.remote_decisions_delivered = 0
+        self.remote_cache_hits = 0
+        self.remote_cache_decisions_served = 0
+        self.remote_cache_fenced = 0
+        self.misroutes_detected = 0
+        self.misroutes_reforwarded = 0
+        self.recheck_failures = 0
         self.direct_batches_sent = 0
         self.unknown_domain_denials = 0
         self.peer_failures = 0
@@ -413,6 +489,19 @@ class FederatedGateway(DomainDecisionGateway):
         )
         return governing or self.domain
 
+    def _serving_domain(self, request: RequestContext) -> str:
+        """The governing domain as the *serving* side must see it.
+
+        Inbound forwarded batches are classified with the authoritative
+        resolver when one is configured: accepting an origin's (possibly
+        stale-cache-derived) routing at face value would let a directory
+        transfer turn into wrong decisions instead of re-forwards.
+        """
+        if self.resolve_authoritative is not None:
+            governing = self.resolve_authoritative(request)
+            return governing or self.domain
+        return self._governing_domain(request)
+
     def _dispatch_slots(self, slots: list[_WireSlot]) -> float:
         """Partition one drawn super-batch by governing domain and send.
 
@@ -433,7 +522,9 @@ class FederatedGateway(DomainDecisionGateway):
             if target == self.domain:
                 tx_time += self._wire.send(group)
             elif target in self._peers:
-                self._buffer_forward(target, group)
+                misses = self._serve_cached_remote(group)
+                if misses:
+                    self._buffer_forward(target, misses)
             elif target in self._direct:
                 tx_time += self._wire.send(group, job=self._direct_job(target))
             else:
@@ -448,6 +539,127 @@ class FederatedGateway(DomainDecisionGateway):
                     ),
                 )
         return tx_time
+
+    # -- the gateway-tier remote-decision cache ---------------------------------------
+
+    def _serve_cached_remote(
+        self, slots: list[_WireSlot]
+    ) -> list[_WireSlot]:
+        """Serve cache hits locally; return the slots that must travel.
+
+        A hit completes every waiting PEP entry of the slot through its
+        owning queue (per-PEP enforcement, obligations and counters all
+        apply, exactly as for a remote reply) without any cross-domain
+        message.  Misses are returned for the forwarding buffer — their
+        slots keep accumulating waiters while buffered, so the one
+        forwarded query carries every PEP waiting on the identity.
+
+        Delivery is deferred to a zero-delay event rather than run
+        inline: a completion callback may submit the next request
+        (closed loop) and flush straight back into this gateway, and a
+        nested ``_drain_step`` while the outer drain is still
+        classifying would break the paced-drain invariant (two
+        scheduled drains, only one tracked).  The slot stays in
+        ``_inflight_slots`` until the deferred delivery fires, so
+        late-joining waiters still attach and are served with it.
+        """
+        if not self.remote_cache.enabled:
+            return slots
+        misses: list[_WireSlot] = []
+        for slot in slots:
+            statement = self.remote_cache.get(slot.cache_key)
+            if statement is None:
+                misses.append(slot)
+                continue
+            self.remote_cache_hits += 1
+            self.network.metrics.bump("federation.remote_cache_hit")
+            self.network.loop.schedule(
+                0.0,
+                lambda slot=slot, statement=statement: (
+                    self._deliver_cached_slot(slot, statement)
+                ),
+                label="federation-cache-hit",
+            )
+        return misses
+
+    def _deliver_cached_slot(self, slot: _WireSlot, statement) -> None:
+        # Counted at delivery time so waiters that joined the inflight
+        # slot after the hit are included.
+        self.remote_cache_decisions_served += len(slot.entries)
+        self._deliver_slots([slot], [statement])
+
+    def _cache_remote_statements(
+        self, slots: list[_WireSlot], statements: Sequence
+    ) -> None:
+        """Retain definitive remote decisions for the cache TTL.
+
+        Indeterminate / NotApplicable statements are fail-safe or
+        routing artefacts, not policy outcomes — caching them would pin
+        a transient peer failure onto the whole PEP fleet for a TTL.
+        """
+        if not self.remote_cache.enabled:
+            return
+        for slot, statement in zip(slots, statements):
+            if not statement.response.decision.is_definitive:
+                continue
+            if self._fenced(slot.request, statement.issue_instant):
+                self.remote_cache_fenced += 1
+                continue
+            self.remote_cache.put(slot.cache_key, statement)
+
+    def _fenced(self, request: RequestContext, issued_at: float) -> bool:
+        """Was this decision issued no later than a matching fence?
+
+        The fence closes the re-poisoning race: a revocation's
+        invalidation can land while a pre-revocation decision is still
+        in flight; caching that reply would resurrect exactly the entry
+        coherence just killed, for a whole TTL.
+        """
+        fence = self._remote_fence
+        subject = request.subject_id
+        if subject is not None:
+            fence = max(fence, self._subject_fences.get(subject, 0.0))
+        resource = request.resource_id
+        if resource is not None:
+            fence = max(fence, self._resource_fences.get(resource, 0.0))
+        return fence > 0.0 and issued_at <= fence
+
+    def invalidate_remote_decisions(self) -> None:
+        """Drop every gateway-tier cached remote decision."""
+        self._remote_fence = self.now
+        self.remote_cache.clear()
+
+    def invalidate_remote_decisions_for(
+        self,
+        subject_id: Optional[str] = None,
+        resource_id: Optional[str] = None,
+    ) -> int:
+        """Selectively drop cached remote decisions (revocation coherence).
+
+        The gateway-tier twin of :meth:`~repro.components.pep.
+        PolicyEnforcementPoint.invalidate_decisions_for`: entries whose
+        request identity touches the revoked subject and/or resource are
+        dropped; everything else keeps amortising.  Returns the number
+        of entries invalidated.
+        """
+        if subject_id is None and resource_id is None:
+            return 0
+        if subject_id is not None:
+            self._subject_fences[subject_id] = self.now
+        if resource_id is not None:
+            self._resource_fences[resource_id] = self.now
+        return self.remote_cache.invalidate_where(
+            lambda key: cache_key_touches(
+                key, subject_id=subject_id, resource_id=resource_id
+            )
+        )
+
+    def remote_cache_stats(self) -> dict[str, float]:
+        """Hit/miss snapshot with expired entries purged first."""
+        self.remote_cache.purge_expired()
+        snapshot = self.remote_cache.stats.snapshot()
+        snapshot["entries"] = len(self.remote_cache)
+        return snapshot
 
     # -- the forwarding buffer -------------------------------------------------------
 
@@ -570,6 +782,7 @@ class FederatedGateway(DomainDecisionGateway):
         self.remote_decisions_delivered += sum(
             len(slot.entries) for slot in slots
         )
+        self._cache_remote_statements(slots, statements)
         self._deliver_slots(slots, statements)
 
     def _fail_forwarded_slots(

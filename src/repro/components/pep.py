@@ -32,7 +32,6 @@ from ..saml.xacml_profile import (
 )
 from ..simnet.message import Message
 from ..simnet.network import Network
-from ..xacml.attributes import Category, RESOURCE_ID, SUBJECT_ID
 from ..wsvc.soap import SoapEnvelope
 from ..wsvc.ws_security import (
     SecurityConfig,
@@ -47,6 +46,7 @@ from ..xacml.context import (
     RequestContext,
     Status,
     StatusCode,
+    cache_key_touches,
 )
 from .base import Component, ComponentIdentity, RpcFault, RpcTimeout
 from .cache import TtlCache
@@ -487,16 +487,11 @@ class PolicyEnforcementPoint(Component):
         """
         if subject_id is None and resource_id is None:
             return 0
-        wanted = set()
-        if subject_id is not None:
-            wanted.add((Category.SUBJECT.value, SUBJECT_ID, subject_id))
-        if resource_id is not None:
-            wanted.add((Category.RESOURCE.value, RESOURCE_ID, resource_id))
-
-        def touches(key) -> bool:
-            return any(part in wanted for part in key)
-
-        return self.decision_cache.invalidate_where(touches)
+        return self.decision_cache.invalidate_where(
+            lambda key: cache_key_touches(
+                key, subject_id=subject_id, resource_id=resource_id
+            )
+        )
 
     # -- revocation push (paper §3.2: caching vs revocation flexibility) ---------
 

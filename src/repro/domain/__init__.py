@@ -16,6 +16,15 @@ from .directory import (
     ResourceDirectory,
     build_directory,
 )
+from .directory_service import (
+    DEFAULT_DIRECTORY_TOPIC,
+    DirectoryClient,
+    DirectoryLookupError,
+    DirectoryRecord,
+    DirectoryService,
+    LOOKUP_ACTION,
+    TRANSFER_KIND,
+)
 from .federation import (
     CollaborationMode,
     FederationAgreement,
@@ -51,7 +60,14 @@ __all__ = [
     "COMPONENT_CERT_LIFETIME",
     "CollaborationMode",
     "Credential",
+    "DEFAULT_DIRECTORY_TOPIC",
+    "DirectoryClient",
+    "DirectoryLookupError",
+    "DirectoryRecord",
+    "DirectoryService",
     "DisclosurePolicy",
+    "LOOKUP_ACTION",
+    "TRANSFER_KIND",
     "FederationAgreement",
     "IdentityProvider",
     "MAX_ROUNDS",

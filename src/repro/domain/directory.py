@@ -38,6 +38,11 @@ class ResourceDirectory:
     def __init__(self, default_domain: Optional[str] = None) -> None:
         self._governing: dict[str, str] = {}
         self.default_domain = default_domain
+        #: Monotone governance-change counter: bumped by every effective
+        #: :meth:`transfer`, so cached resolutions can be epoch-checked
+        #: (the :class:`~repro.domain.directory_service.DirectoryService`
+        #: propagates bumps to subscribed lookup caches).
+        self.epoch = 0
 
     def register(self, resource_id: str, domain_name: str) -> None:
         """Record that ``domain_name`` governs ``resource_id``.
@@ -60,9 +65,24 @@ class ResourceDirectory:
             self.register(resource_id, domain.name)
         return len(domain.resources)
 
-    def transfer(self, resource_id: str, domain_name: str) -> None:
-        """Move a resource's governance to another domain (explicit)."""
-        self._governing[resource_id] = domain_name
+    def transfer(self, resource_id: str, domain_name: str) -> int:
+        """Move a *registered* resource's governance to another domain.
+
+        Unknown resources raise :class:`KeyError` — a typo'd transfer
+        must not mint a phantom route that silently swallows traffic.
+        A same-domain transfer is a no-op.  Returns the directory epoch
+        after the move (bumped only when governance actually changed).
+        """
+        existing = self._governing.get(resource_id)
+        if existing is None:
+            raise KeyError(
+                f"resource {resource_id!r} is not registered; "
+                "transfer() cannot create governance"
+            )
+        if existing != domain_name:
+            self._governing[resource_id] = domain_name
+            self.epoch += 1
+        return self.epoch
 
     def domain_of(self, resource_id: str) -> Optional[str]:
         return self._governing.get(resource_id, self.default_domain)
@@ -86,7 +106,11 @@ class ResourceDirectory:
         def resolve(request: RequestContext) -> Optional[str]:
             resource_id = request.resource_id
             if resource_id is None:
-                return self.default_domain
+                # No resource named: nothing for a directory to govern.
+                # "Unknown -> locally governed" applies a fortiori, so a
+                # resource-less request must never be forwarded to a
+                # remote default domain.
+                return None
             return self.domain_of(resource_id)
 
         return resolve

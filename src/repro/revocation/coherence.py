@@ -2,7 +2,8 @@
 
 The paper's staleness warning (§3.2) names three cache sites that can
 serve a revoked world: PEP decision caches, PDP policy caches, and
-relying-party token validation (capability/VOMS).  A
+relying-party token validation (capability/VOMS); the gateway tier adds
+a fourth — the federated gateway's shared remote-decision cache.  A
 :class:`CoherenceAgent` is one network endpoint per domain that keeps a
 local view of the revocation registry — fed by whichever
 :mod:`~repro.revocation.strategies` strategy it runs — and, on every
@@ -82,8 +83,10 @@ class CoherenceAgent(Component):
         self.invalidations_received = 0
         self.rejected_invalidations = 0
         self.decision_entries_invalidated = 0
+        self.remote_entries_invalidated = 0
         self._peps: list[PolicyEnforcementPoint] = []
         self._pdps: list[PolicyDecisionPoint] = []
+        self._gateways: list = []
         strategy.attach(self)
 
     # -- protection wiring -------------------------------------------------------
@@ -111,6 +114,21 @@ class CoherenceAgent(Component):
     def protect_pdp(self, pdp: PolicyDecisionPoint) -> None:
         """Invalidate this PDP's policy cache on policy-level revocations."""
         self._pdps.append(pdp)
+
+    def protect_gateway(self, gateway) -> None:
+        """Invalidate a federated gateway's remote-decision cache.
+
+        The gateway-tier cache (:attr:`~repro.components.federation.
+        FederatedGateway.remote_cache`) holds decisions *another*
+        domain made; within this domain it is the widest-blast-radius
+        cache a stale revocation can hide in — one stale entry grants
+        every PEP behind the gateway.  On every newly learned record
+        the agent selectively drops the entries the record touches
+        (same key discipline as PEP decision caches), so a revoked
+        remote subject stops being served from the gateway tier within
+        the strategy's coherence window.
+        """
+        self._gateways.append(gateway)
 
     def protect_verifier(self, verifier) -> None:
         """Reject revoked capability assertions at verification time.
@@ -153,6 +171,8 @@ class CoherenceAgent(Component):
                 pep.invalidate_cached_decisions()
             for pdp in self._pdps:
                 pdp.invalidate_policy_cache()
+            for gateway in self._gateways:
+                gateway.invalidate_remote_decisions()
             return True
         for pep in self._peps:
             if record.subject_id or record.resource_id:
@@ -163,6 +183,16 @@ class CoherenceAgent(Component):
             else:
                 # No selective key on the record: the whole cache is suspect.
                 pep.invalidate_cached_decisions()
+        for gateway in self._gateways:
+            if record.subject_id or record.resource_id:
+                self.remote_entries_invalidated += (
+                    gateway.invalidate_remote_decisions_for(
+                        subject_id=record.subject_id or None,
+                        resource_id=record.resource_id or None,
+                    )
+                )
+            else:
+                gateway.invalidate_remote_decisions()
         return True
 
     # -- guards ------------------------------------------------------------------

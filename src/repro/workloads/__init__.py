@@ -21,6 +21,7 @@ from .highload import (
 from .multidomain import (
     DomainLoadStats,
     FederatedLoadStats,
+    StalenessAudit,
     federated_resource_id,
     multi_domain_request_mix,
     run_closed_loop_federated,
@@ -44,6 +45,7 @@ __all__ = [
     "PepLoadStats",
     "PolicyCorpusSpec",
     "Scenario",
+    "StalenessAudit",
     "WorkloadSpec",
     "access_requests",
     "build_workload",

@@ -118,6 +118,7 @@ def run_closed_loop_multi(
     requests_by_pep: Sequence[Sequence[RequestContext]],
     concurrency,
     horizon: float = 300.0,
+    observer=None,
 ) -> MultiPepStats:
     """Drive one request sequence per PEP, all sharing one network.
 
@@ -136,6 +137,10 @@ def run_closed_loop_multi(
             a uniform domain, or one int per PEP (how E17's fairness
             experiment makes one PEP chatty).
         horizon: simulated-seconds safety stop.
+        observer: optional ``observer(pep, request, result)`` callback
+            invoked on every completion at its simulated completion
+            time — how staleness experiments timestamp per-subject
+            outcomes without threading state through the driver.
     """
     if len(peps) != len(requests_by_pep):
         raise ValueError(
@@ -172,11 +177,13 @@ def run_closed_loop_multi(
             "pumping": False,
         }
 
-        def on_complete(result) -> None:
+        def on_complete(result, request=None) -> None:
             state["completed"] += 1
             if result.granted:
                 state["granted"] += 1
             shared["last_completion_at"] = network.now
+            if observer is not None:
+                observer(pep, request, result)
             pump()
 
         def pump() -> None:
@@ -193,7 +200,18 @@ def run_closed_loop_multi(
                 ):
                     request = requests[state["next"]]
                     state["next"] += 1
-                    pep.submit(request, on_complete)
+                    if observer is None:
+                        pep.submit(request, on_complete)
+                    else:
+                        # Bind the request so the observer sees which
+                        # identity completed (the shared callback alone
+                        # cannot know).
+                        pep.submit(
+                            request,
+                            lambda result, request=request: on_complete(
+                                result, request
+                            ),
+                        )
             finally:
                 state["pumping"] = False
 

@@ -86,6 +86,69 @@ def multi_domain_request_mix(
     return requests
 
 
+class StalenessAudit:
+    """Prices cache staleness against one mid-workload revocation.
+
+    Used as the closed-loop driver's ``observer``: every completion for
+    the watched subject is timestamped and classified against the
+    revocation instant and the coherence window.  A *violation* is a
+    grant completing after ``revoked_at + coherence_window`` — the
+    paper's §3.2 "false positive" served from a cache the coherence
+    machinery should already have cleaned.  Grants completing inside
+    the window are the priced (allowed) staleness; grants before the
+    revocation are normal service.
+
+    Args:
+        subject_id: the subject whose revocation is audited.
+        coherence_window: simulated seconds after the revocation in
+            which stale grants are tolerated (the swept strategy's
+            propagation bound plus in-flight round-trip slack).
+    """
+
+    def __init__(self, subject_id: str, coherence_window: float) -> None:
+        if coherence_window < 0:
+            raise ValueError(
+                f"coherence_window must be >= 0, got {coherence_window}"
+            )
+        self.subject_id = subject_id
+        self.coherence_window = coherence_window
+        self.revoked_at: float | None = None
+        self.grants_before = 0
+        self.denials_after = 0
+        self.stale_grants_in_window = 0
+        #: Completion times of post-window grants — the violations.
+        self.violations: list[float] = []
+
+    def mark_revoked(self, at: float) -> None:
+        self.revoked_at = at
+
+    def __call__(self, pep, request, result) -> None:
+        if request is None or request.subject_id != self.subject_id:
+            return
+        now = pep.now
+        if self.revoked_at is None or now < self.revoked_at:
+            if result.granted:
+                self.grants_before += 1
+            return
+        if not result.granted:
+            self.denials_after += 1
+        elif now <= self.revoked_at + self.coherence_window:
+            self.stale_grants_in_window += 1
+        else:
+            self.violations.append(now)
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    def __repr__(self) -> str:
+        return (
+            f"StalenessAudit({self.subject_id!r}, "
+            f"window={self.coherence_window}, "
+            f"violations={self.violation_count})"
+        )
+
+
 @dataclass(frozen=True)
 class DomainLoadStats:
     """One domain's share of a federated closed-loop run."""
@@ -123,6 +186,7 @@ def run_closed_loop_federated(
     requests_by_domain: Mapping[str, Sequence[Sequence[RequestContext]]],
     concurrency: int,
     horizon: float = 300.0,
+    observer=None,
 ) -> FederatedLoadStats:
     """Drive every domain's PEP fleet concurrently on one network.
 
@@ -134,6 +198,9 @@ def run_closed_loop_federated(
             aligned with ``peps_by_domain``.
         concurrency: outstanding-request window per PEP.
         horizon: simulated-seconds safety stop.
+        observer: optional per-completion ``observer(pep, request,
+            result)`` callback, passed through to the multi-PEP driver
+            (staleness accounting for the E18 cache grid).
     """
     if set(peps_by_domain) != set(requests_by_domain):
         raise ValueError(
@@ -153,7 +220,9 @@ def run_closed_loop_federated(
         peps.extend(domain_peps)
         requests.extend(domain_requests)
         owners.extend([domain_name] * len(domain_peps))
-    multi = run_closed_loop_multi(peps, requests, concurrency, horizon=horizon)
+    multi = run_closed_loop_multi(
+        peps, requests, concurrency, horizon=horizon, observer=observer
+    )
     per_domain = []
     for domain_name in domain_names:
         shares = tuple(

@@ -210,6 +210,27 @@ class RequestContext:
         )
 
 
+def cache_key_touches(
+    key: tuple,
+    subject_id: Optional[str] = None,
+    resource_id: Optional[str] = None,
+) -> bool:
+    """Does a :meth:`RequestContext.cache_key` involve a subject/resource?
+
+    The selective-invalidation predicate every decision-cache tier
+    (PEP caches, the gateway-tier remote-decision cache) applies when a
+    revocation names a subject and/or resource: entries matching
+    *either* filter are coherence victims.  With neither filter given
+    nothing matches (the caller should flush instead).
+    """
+    wanted = set()
+    if subject_id is not None:
+        wanted.add((Category.SUBJECT.value, SUBJECT_ID, subject_id))
+    if resource_id is not None:
+        wanted.add((Category.RESOURCE.value, RESOURCE_ID, resource_id))
+    return any(part in wanted for part in key)
+
+
 @dataclass(frozen=True)
 class Result:
     """One result inside a response context."""

@@ -86,6 +86,51 @@ class TestTtlCache:
         cache.put("b", 2)
         cache.clear()
         assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+    def test_clear_counts_only_live_entries(self, clock):
+        """Entries the clock already killed are expirations, not
+        invalidations — counting them both would double-book E5/E6/E15
+        staleness stats."""
+        cache = make_cache(clock, ttl=5.0)
+        cache.put("dead", 1)
+        clock.advance_to(6.0)
+        cache.put("live", 2)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+        assert cache.stats.expirations == 1
+
+    def test_purge_expired(self, clock):
+        cache = make_cache(clock, ttl=5.0)
+        cache.put("dead-1", 1)
+        cache.put("dead-2", 2)
+        clock.advance_to(6.0)
+        cache.put("live", 3)
+        assert cache.purge_expired() == 2
+        assert len(cache) == 1
+        assert cache.stats.expirations == 2
+        assert cache.get("live") == 3
+
+    def test_invalidate_where_counts_only_live_entries(self, clock):
+        """Matching-but-expired victims are expirations, not coherence
+        work — same discipline as clear()."""
+        cache = make_cache(clock, ttl=5.0, capacity=10)
+        cache.put(("res", 0), "dead")
+        clock.advance_to(6.0)
+        cache.put(("res", 1), "live")
+        cache.put(("other", 2), "live")
+        removed = cache.invalidate_where(lambda key: key[0] == "res")
+        assert removed == 1
+        assert cache.stats.invalidations == 1
+        assert cache.stats.expirations == 1
+        assert cache.get(("other", 2)) == "live"
+
+    def test_purge_expired_noop_when_fresh(self, clock):
+        cache = make_cache(clock, ttl=5.0)
+        cache.put("a", 1)
+        assert cache.purge_expired() == 0
+        assert len(cache) == 1
 
     def test_age_of(self, clock):
         cache = make_cache(clock)

@@ -61,11 +61,14 @@ def build_two_domains(
     connect=True,
     cache_ttl=0.0,
     seed=91,
+    remote_cache_ttl=0.0,
 ):
     """Two insecure domains (west/east), one PEP + PDP + gateway each.
 
     ``resolvers`` overrides a domain's resource→domain map (how the
     loop test models two domains with *conflicting* directories).
+    ``remote_cache_ttl`` enables the gateway-tier remote-decision
+    cache on both gateways.
     """
     network = Network(seed=seed)
     hubs: dict[str, FederatedGateway] = {}
@@ -88,6 +91,7 @@ def build_two_domains(
             forward_ttl=forward_ttl,
             max_batch=8,
             max_delay=0.001,
+            remote_cache_ttl=remote_cache_ttl,
         )
         pep = PolicyEnforcementPoint(
             f"pep.{name}",
@@ -340,6 +344,281 @@ class TestSecureFederation:
         network, vo, gw_west, gw_east, pep, _ = build_secure_vo()
         with pytest.raises(ValueError, match="two gateways"):
             federate_gateways(TrustGraph(), [gw_west, gw_west])
+
+
+class TestGatewayRemoteDecisionCache:
+    def second_pep(self, network, hub, name="pep2.west"):
+        pep = PolicyEnforcementPoint(
+            name,
+            network,
+            domain="west",
+            config=PepConfig(decision_cache_ttl=0.0),
+        )
+        pep.enable_batching(max_batch=4, max_delay=0.001, gateway=hub)
+        return pep
+
+    def test_repeat_remote_request_served_from_gateway_cache(self):
+        network, peps, hubs = build_two_domains(remote_cache_ttl=60.0)
+        request = RequestContext.simple("alice", "res.east", "read")
+        done = []
+        peps["west"].submit(request, done.append)
+        network.run(until=network.now + 5.0)
+        assert done[0].granted and done[0].source == "pdp"
+        assert hubs["west"].forwarded_batches_sent == 1
+        # Same identity again (PEP cache is off): the gateway serves it
+        # from its remote-decision cache — zero new cross-domain traffic.
+        peps["west"].submit(request, done.append)
+        network.run(until=network.now + 5.0)
+        assert len(done) == 2 and done[1].granted
+        assert hubs["west"].forwarded_batches_sent == 1
+        assert hubs["west"].remote_cache_hits == 1
+        assert hubs["west"].remote_cache_decisions_served == 1
+        assert network.metrics.counters["federation.remote_cache_hit"] == 1
+        assert network.metrics.sent_by_kind[FORWARD_ACTION] == 1
+
+    def test_hit_demultiplexes_to_other_peps_behind_the_gateway(self):
+        """One PEP's round trip pays for every sibling's identical
+        request — the cross-PEP amortisation the gateway tier exists
+        for, now across *time* as well as within a batch."""
+        network, peps, hubs = build_two_domains(remote_cache_ttl=60.0)
+        sibling = self.second_pep(network, hubs["west"])
+        request = RequestContext.simple("alice", "res.east", "read")
+        done = []
+        peps["west"].submit(request, done.append)
+        network.run(until=network.now + 5.0)
+        assert hubs["west"].forwarded_batches_sent == 1
+        sibling.submit(request, done.append)
+        network.run(until=network.now + 5.0)
+        assert len(done) == 2
+        assert all(result.granted for result in done)
+        # The sibling's grant was enforced by the sibling, from the
+        # gateway tier, with no second forward.
+        assert sibling.grants == 1
+        assert hubs["west"].forwarded_batches_sent == 1
+        assert hubs["west"].remote_cache_hits == 1
+
+    def test_cache_expiry_forces_a_fresh_forward(self):
+        network, peps, hubs = build_two_domains(remote_cache_ttl=2.0)
+        request = RequestContext.simple("alice", "res.east", "read")
+        done = []
+        peps["west"].submit(request, done.append)
+        network.run(until=network.now + 5.0)
+        network.run(until=network.now + 3.0)  # TTL expires
+        peps["west"].submit(request, done.append)
+        network.run(until=network.now + 5.0)
+        assert len(done) == 2 and all(r.granted for r in done)
+        assert hubs["west"].forwarded_batches_sent == 2
+        assert hubs["west"].remote_cache_hits == 0
+
+    def test_denies_are_cached_but_indeterminates_are_not(self):
+        network, peps, hubs = build_two_domains(remote_cache_ttl=60.0)
+        done = []
+        deny = RequestContext.simple("eve", "res.east", "read")
+        peps["west"].submit(deny, done.append)
+        network.run(until=network.now + 5.0)
+        peps["west"].submit(deny, done.append)
+        network.run(until=network.now + 5.0)
+        assert len(done) == 2 and not any(r.granted for r in done)
+        # The definitive deny amortised like a grant.
+        assert hubs["west"].forwarded_batches_sent == 1
+        assert hubs["west"].remote_cache_hits == 1
+
+    def test_ttl_exhaustion_statement_not_cached(self):
+        """The peer's fail-safe Indeterminate answers must not pin the
+        transient routing failure onto the whole fleet for a TTL."""
+        resolvers = {
+            "west": {**DIRECTORY, "res.ghost": "east"},
+            "east": {**DIRECTORY, "res.ghost": "west"},
+        }
+        network, peps, hubs = build_two_domains(
+            resolvers=resolvers, forward_ttl=2, remote_cache_ttl=60.0
+        )
+        request = RequestContext.simple("alice", "res.ghost", "read")
+        done = []
+        peps["west"].submit(request, done.append)
+        network.run(until=network.now + 10.0)
+        assert not done[0].granted
+        peps["west"].submit(request, done.append)
+        network.run(until=network.now + 10.0)
+        assert len(done) == 2
+        # Second attempt forwarded again: nothing was cached.
+        assert hubs["west"].remote_cache_hits == 0
+        assert network.metrics.sent_by_kind[FORWARD_ACTION] == 4
+
+    def test_revocation_selectively_invalidates_gateway_cache(self):
+        """The tentpole coherence wiring: a pushed revocation kills
+        exactly the revoked subject's gateway-tier entries, forcing the
+        next request back onto the authoritative cross-domain path."""
+        network, peps, hubs = build_two_domains(remote_cache_ttl=3600.0)
+        bus = InvalidationBus(network)
+        authority = RevocationAuthority("authority.east", network, bus=bus)
+        agent = CoherenceAgent(
+            "coherence.west", network, "authority.east", PushStrategy(bus)
+        )
+        agent.protect_gateway(hubs["west"])
+        alice = RequestContext.simple("alice", "res.east", "read")
+        bob = RequestContext.simple("bob", "res.east", "read")
+        done = []
+        peps["west"].submit(alice, done.append)
+        peps["west"].submit(bob, done.append)
+        network.run(until=network.now + 5.0)
+        assert len(done) == 2
+        assert len(hubs["west"].remote_cache) == 2
+        authority.registry.revoke_subject_access("alice")
+        network.run(until=network.now + 2.0)
+        assert agent.records_applied == 1
+        assert agent.remote_entries_invalidated == 1
+        # Alice's entry died; bob's survived and still amortises.
+        forwards_before = hubs["west"].forwarded_batches_sent
+        peps["west"].submit(bob, done.append)
+        network.run(until=network.now + 5.0)
+        assert hubs["west"].forwarded_batches_sent == forwards_before
+        peps["west"].submit(alice, done.append)
+        network.run(until=network.now + 5.0)
+        assert hubs["west"].forwarded_batches_sent == forwards_before + 1
+
+    def test_trust_edge_revocation_flushes_gateway_cache(self):
+        """Transitive revocations have no selective key: the whole
+        remote cache is suspect, exactly like PEP/PDP caches."""
+        network, peps, hubs = build_two_domains(remote_cache_ttl=3600.0)
+        bus = InvalidationBus(network)
+        authority = RevocationAuthority("authority.east", network, bus=bus)
+        agent = CoherenceAgent(
+            "coherence.west", network, "authority.east", PushStrategy(bus)
+        )
+        agent.protect_gateway(hubs["west"])
+        done = []
+        peps["west"].submit(
+            RequestContext.simple("alice", "res.east", "read"), done.append
+        )
+        network.run(until=network.now + 5.0)
+        assert len(hubs["west"].remote_cache) == 1
+        authority.registry.revoke_trust_edge("west", "east", "decision")
+        network.run(until=network.now + 2.0)
+        assert len(hubs["west"].remote_cache) == 0
+
+
+class TestServingSideMisrouteReCheck:
+    def build_with_directory_service(self):
+        """West/east with a networked directory; east's lookup cache is
+        deliberately unsubscribed + long-TTL so a transfer leaves it
+        stale (the misroute source), while both serving sides re-check
+        authoritatively."""
+        from repro.domain import DirectoryClient, DirectoryService
+
+        network = Network(seed=97)
+        directory = ResourceDirectory()
+        directory.register("res.west", "west")
+        directory.register("res.east", "east")
+        directory.register("res.moving", "west")
+        service = DirectoryService("dirsvc", network, directory)
+        hubs = {}
+        peps = {}
+        clients = {}
+        for name in ("west", "east"):
+            pap = PolicyAdministrationPoint(
+                f"pap.{name}", network, domain=name
+            )
+            pap.publish(policy_for(f"res.{name}"))
+            if name == "east":
+                # The post-transfer truth: only east's PAP can permit
+                # alice on res.moving — west (the stale route) holds no
+                # policy for it, so a mis-decision there would visibly
+                # differ (NotApplicable -> deny).
+                pap.publish(policy_for("res.moving"))
+            PolicyDecisionPoint(
+                f"pdp.{name}", network, domain=name, pap_address=f"pap.{name}"
+            )
+            client = DirectoryClient(
+                f"dircl.{name}",
+                network,
+                "dirsvc",
+                ttl=3600.0,
+                subscribe=False,
+            )
+            clients[name] = client
+            hubs[name] = FederatedGateway(
+                f"gw.{name}",
+                network,
+                DecisionDispatcher([f"pdp.{name}"]),
+                domain=name,
+                resolve_domain=client.resolver(),
+                resolve_authoritative=client.authoritative_resolver(),
+                max_batch=8,
+                max_delay=0.001,
+            )
+            pep = PolicyEnforcementPoint(
+                f"pep.{name}",
+                network,
+                domain=name,
+                config=PepConfig(decision_cache_ttl=0.0),
+            )
+            pep.enable_batching(
+                max_batch=4, max_delay=0.001, gateway=hubs[name]
+            )
+            peps[name] = pep
+        for origin, target in (("west", "east"), ("east", "west")):
+            hubs[origin].add_peer(target, hubs[target].name)
+            hubs[target].allow_origin(origin, hubs[origin].name)
+        return network, peps, hubs, clients, service
+
+    def test_stale_origin_misroute_is_reforwarded_not_misdecided(self):
+        network, peps, hubs, clients, service = (
+            self.build_with_directory_service()
+        )
+        # Warm east's stale view of res.moving ("west" governs it).
+        warm = []
+        peps["east"].submit(
+            RequestContext.simple("alice", "res.moving", "read"), warm.append
+        )
+        network.run(until=network.now + 5.0)
+        # Pre-transfer: west governs, west has no policy -> denied.
+        assert len(warm) == 1 and not warm[0].granted
+        assert clients["east"].cache.get("res.moving") == "west"
+        # Governance moves to east; east's cache stays stale.
+        service.transfer("res.moving", "east")
+        assert clients["east"].domain_for("res.moving") == "west"  # stale
+        done = []
+        peps["east"].submit(
+            RequestContext.simple("alice", "res.moving", "read"), done.append
+        )
+        network.run(until=network.now + 10.0)
+        assert len(done) == 1
+        # The request bounced east -> west (stale route), west's
+        # authoritative re-check detected the misroute and re-forwarded
+        # east-ward, where the governing policy granted it.
+        assert hubs["west"].misroutes_detected >= 1
+        assert hubs["west"].misroutes_reforwarded >= 1
+        assert network.metrics.counters["federation.misroute"] >= 1
+        assert hubs["east"].forwarded_batches_served >= 1
+        assert done[0].granted and done[0].source == "pdp"
+
+    def test_unanswerable_recheck_fails_closed_not_local(self):
+        """A serving gateway whose authoritative re-check cannot
+        complete must answer Indeterminate, not decide the forwarded
+        request under its own (possibly stale) policy."""
+        network, peps, hubs, clients, service = (
+            self.build_with_directory_service()
+        )
+        # Warm west's origin route for res.east so the forward still
+        # happens after the directory dies.
+        warm = []
+        peps["west"].submit(
+            RequestContext.simple("alice", "res.east", "read"), warm.append
+        )
+        network.run(until=network.now + 5.0)
+        assert len(warm) == 1 and warm[0].granted
+        service.crash()
+        done = []
+        peps["west"].submit(
+            RequestContext.simple("alice", "res.east", "read"), done.append
+        )
+        network.run(until=network.now + 10.0)
+        assert len(done) == 1
+        # Fail-closed: the origin enforces the Indeterminate as deny.
+        assert not done[0].granted
+        assert hubs["east"].recheck_failures >= 1
+        assert network.metrics.counters["federation.recheck_failed"] >= 1
 
 
 class TestFederatedRevocation:

@@ -41,6 +41,23 @@ class TestResourceDirectory:
         directory.transfer("res.a", "beta")
         assert directory.domain_of("res.a") == "beta"
 
+    def test_transfer_of_unregistered_resource_rejected(self):
+        """A typo'd transfer must not mint a phantom route."""
+        directory = ResourceDirectory()
+        with pytest.raises(KeyError, match="not registered"):
+            directory.transfer("res.typo", "beta")
+        assert len(directory) == 0
+        assert directory.epoch == 0
+
+    def test_transfer_bumps_epoch_only_on_change(self):
+        directory = ResourceDirectory()
+        directory.register("res.a", "alpha")
+        assert directory.epoch == 0
+        assert directory.transfer("res.a", "beta") == 1
+        # Same-domain transfer is a no-op: no spurious epoch churn.
+        assert directory.transfer("res.a", "beta") == 1
+        assert directory.transfer("res.a", "alpha") == 2
+
     def test_default_domain_for_unknown_resources(self):
         directory = ResourceDirectory(default_domain="hub")
         assert directory.domain_of("anything") == "hub"
@@ -51,6 +68,19 @@ class TestResourceDirectory:
         resolve = directory.resolver()
         assert resolve(RequestContext.simple("u", "res.a", "read")) == "alpha"
         assert resolve(RequestContext.simple("u", "res.x", "read")) is None
+
+    def test_resolver_treats_resource_less_requests_as_local(self):
+        """Even with a default domain, a request naming *no* resource
+        must resolve local (None) — it has nothing a remote domain
+        could govern, so forwarding it to a default domain would be a
+        misroute by construction."""
+        directory = ResourceDirectory(default_domain="hub")
+        resolve = directory.resolver()
+        request = RequestContext()
+        assert request.resource_id is None
+        assert resolve(request) is None
+        # Named-but-unlisted resources still use the default domain.
+        assert resolve(RequestContext.simple("u", "res.x", "read")) == "hub"
 
     def test_build_directory_from_domains(self):
         network = Network(seed=5)
