@@ -241,6 +241,56 @@ def collect_e18_directory() -> dict:
     }
 
 
+def collect_e24() -> dict:
+    """Decision-path tracing: latency decomposition + overhead guard.
+
+    The E17 gateway tier runs twice from identical wire-ID state —
+    sampling off, then 100% — so ``extra_msgs`` is an exact count of
+    messages tracing added (the design says zero, and the regression
+    gate's zero-baseline rule makes *any* extra message a failure).
+    The decomposition means are the attributable headline: where the
+    per-decision millisecond goes at this tier.
+    """
+    import test_e24_tracing as e24
+    from repro.observability import decomposition_table
+
+    off_network, off = e24.run_e17_tier(0.0)
+    on_network, on = e24.run_e17_tier(1.0)
+    table = decomposition_table(on_network.tracer.spans, tier="e17")
+    return {
+        "description": "tracing at the E17 gateway tier: sampling off "
+        "vs 100% from identical wire-ID state, plus per-decision "
+        "latency decomposition means",
+        "configs": {
+            "sampling_off": {
+                "decisions_per_sec": round(off["decisions_per_sec"], 1),
+                "msgs_per_decision": round(off["msgs_per_decision"], 4),
+            },
+            "sampling_full": {
+                "decisions_per_sec": round(on["decisions_per_sec"], 1),
+                "msgs_per_decision": round(on["msgs_per_decision"], 4),
+                "spans": len(on_network.tracer.spans),
+                "extra_msgs": on["msgs_total"] - off["msgs_total"],
+                "extra_bytes": on["bytes_sent"] - off["bytes_sent"],
+            },
+            "decomposition": {
+                key: table[key]
+                for key in (
+                    "decisions",
+                    "e2e_ms",
+                    "queue_ms",
+                    "batch_ms",
+                    "wire_ms",
+                    "pdp_wait_ms",
+                    "signature_ms",
+                    "pdp_eval_ms",
+                    "demux_ms",
+                )
+            },
+        },
+    }
+
+
 def collect() -> dict:
     summary = {
         "schema": 2,
@@ -253,6 +303,7 @@ def collect() -> dict:
             "E18": collect_e18(),
             "E18c": collect_e18_cache(),
             "E18d": collect_e18_directory(),
+            "E24": collect_e24(),
         },
     }
     e16 = summary["experiments"]["E16"]["configs"]
@@ -284,6 +335,18 @@ def collect() -> dict:
             "push"
         ]["mean_staleness_s"],
     }
+    e24 = summary["experiments"]["E24"]["configs"]
+    summary["headline"].update(
+        {
+            # Zero baseline: the gate's zero-cost rule turns any extra
+            # traced message into an automatic failure.
+            "tracing_extra_msgs": e24["sampling_full"]["extra_msgs"],
+            "tracing_decisions_per_sec": e24["sampling_full"][
+                "decisions_per_sec"
+            ],
+            "tracing_e2e_ms": e24["decomposition"]["e2e_ms"],
+        }
+    )
     return summary
 
 

@@ -29,6 +29,7 @@ grant/deny outcomes — routing may move, decisions may not.
 """
 
 import os
+from dataclasses import dataclass
 
 from repro.bench import Experiment
 from repro.components import (
@@ -130,31 +131,114 @@ def gateway_batch_for(pep_count: int, replicas: int) -> int:
     return max(PEP_BATCH, (pep_count * PEP_BATCH) // replicas)
 
 
-def build_vo(
+@dataclass
+class FederatedVO:
+    """Everything one parameterised VO build produces.
+
+    The three historic builders (plain/cached/directory) each returned
+    a different tuple slice of this; the thin wrappers below preserve
+    those exact shapes for callers (collect.py, older tests) while new
+    consumers — E24's tracing benchmark in particular — take the whole
+    object.
+    """
+
+    network: Network
+    peps_by_domain: dict
+    #: Federated mode: one gateway per domain.  Direct mode: empty.
+    gateways: list
+    #: Direct mode: the per-PEP private routers.  Federated mode: empty.
+    routers: list
+    #: Per-domain PAPs (revocation scenarios republish through these).
+    paps: dict
+    #: The VO-wide revocation authority (``coherence=True`` builds only).
+    authority: object = None
+    #: Per-domain directory clients (``directory_mode="service"`` only).
+    clients: dict = None
+    #: Governance move of the "moving" resource (``moving_resource``
+    #: builds only) through whichever directory tier is in play.
+    transfer: object = None
+
+    @property
+    def hubs(self):
+        """The routing tier, whichever mode built it."""
+        return self.gateways if self.gateways else self.routers
+
+
+def build_federated_vo(
     domains: int = 2,
     replicas: int = 1,
     peps_per_domain: int = PEPS_PER_DOMAIN,
     mode: str = "federated",
+    remote_cache_ttl: float = 0.0,
+    coherence: bool = False,
+    directory_mode: str = "inproc",
+    directory_ttl: float = 0.02,
+    subscribe: bool = False,
+    moving_resource: bool = False,
     seed: int = 18,
-):
+) -> FederatedVO:
     """A VO of N domains, each with its own PAP + replica set + PEPs.
 
-    ``mode="federated"``: one FederatedGateway per domain, full-mesh
-    peering.  ``mode="direct"``: one private router per PEP with direct
-    routes at every remote replica set — the naive baseline (identical
-    classification machinery, no cross-PEP or cross-domain
-    aggregation).
+    One builder, every E18 topology:
+
+    * ``mode="federated"``: one FederatedGateway per domain, full-mesh
+      peering.  ``mode="direct"``: one private router per PEP with
+      direct routes at every remote replica set — the naive baseline
+      (identical classification machinery, no cross-PEP or
+      cross-domain aggregation).
+    * ``coherence=True`` adds the E18c plane: gateway remote-decision
+      caches at ``remote_cache_ttl``, a VO-wide revocation authority
+      pushing over the invalidation bus to per-domain coherence
+      agents, and change-subscribed PDPs.
+    * ``directory_mode="service"`` replaces the in-process resolver
+      with a DirectoryService + per-domain TTL'd DirectoryClients
+      (E18d); ``moving_resource=True`` publishes the transferable
+      resource's policy identically in the first two domains and
+      returns a ``transfer()`` hook that moves its governance.
     """
     if mode not in ("federated", "direct"):
         raise ValueError(f"unknown mode {mode!r}")
+    if directory_mode not in ("inproc", "service"):
+        raise ValueError(f"unknown directory mode {directory_mode!r}")
+    if mode == "direct" and (coherence or directory_mode != "inproc"):
+        raise ValueError(
+            "coherence / directory-service planes attach to the "
+            "federated gateway tier; direct mode has none"
+        )
     network = Network(seed=seed)
     names = domain_names(domains)
     directory = ResourceDirectory()
     local = Link(latency=INTRA_DOMAIN_LATENCY)
+    moving = federated_resource_id(names[0], 0)
+    bus = authority = None
+    if coherence:
+        bus = InvalidationBus(network)
+        authority = RevocationAuthority("authority.vo", network, bus=bus)
     replica_names: dict[str, list[str]] = {}
+    paps: dict[str, PolicyAdministrationPoint] = {}
     for name in names:
         pap = PolicyAdministrationPoint(f"pap.{name}", network, domain=name)
         publish_domain_policies(pap, name)
+        paps[name] = pap
+        if moving_resource and name == names[1]:
+            # The adopted copy of the moving resource's policy: the
+            # destination domain can answer for it identically.
+            pap.publish(
+                Policy(
+                    policy_id=f"{name}-adopted-{moving}-policy",
+                    target=subject_resource_action_target(resource_id=moving),
+                    rules=(
+                        permit_rule(
+                            "reads",
+                            target=subject_resource_action_target(
+                                action_id="read"
+                            ),
+                        ),
+                        deny_rule("rest"),
+                    ),
+                    rule_combining=combining.RULE_FIRST_APPLICABLE,
+                )
+            )
         pdps = [
             PolicyDecisionPoint(
                 f"pdp-{index}.{name}",
@@ -172,13 +256,37 @@ def build_vo(
         replica_names[name] = [pdp.name for pdp in pdps]
         for pdp in pdps:
             network.set_link(pdp.name, pap.name, local)
+            if coherence:
+                pdp.subscribe_to_policy_changes()
         for index in range(RESOURCES_PER_DOMAIN):
             directory.register(federated_resource_id(name, index), name)
-    resolver = directory.resolver()
+    service = None
+    clients: dict[str, DirectoryClient] = {}
+    if directory_mode == "service":
+        service = DirectoryService("dirsvc", network, directory)
+    inproc_resolver = directory.resolver()
     gateways: list[FederatedGateway] = []
     routers: dict[str, list[FederatedGateway]] = {name: [] for name in names}
     peps_by_domain: dict[str, list[PolicyEnforcementPoint]] = {}
     for name in names:
+        if directory_mode == "service":
+            client = DirectoryClient(
+                f"dircl.{name}",
+                network,
+                "dirsvc",
+                ttl=directory_ttl,
+                domain=name,
+                subscribe=subscribe,
+            )
+            # A well-placed registry: fast link from each domain's
+            # resolver to the directory service.
+            network.set_link(client.name, "dirsvc", local)
+            clients[name] = client
+            resolve = client.resolver()
+            resolve_authoritative = client.authoritative_resolver()
+        else:
+            resolve = inproc_resolver
+            resolve_authoritative = None
         peps = []
         if mode == "federated":
             hub = FederatedGateway(
@@ -188,14 +296,25 @@ def build_vo(
                     replica_names[name], policy="least-outstanding"
                 ),
                 domain=name,
-                resolve_domain=resolver,
+                resolve_domain=resolve,
+                resolve_authoritative=resolve_authoritative,
                 max_batch=gateway_batch_for(peps_per_domain, replicas),
                 max_delay=FLUSH_DELAY,
                 forward_delay=FORWARD_DELAY,
+                remote_cache_ttl=remote_cache_ttl,
             )
             gateways.append(hub)
             for replica in replica_names[name]:
                 network.set_link(hub.name, replica, local)
+            if coherence:
+                agent = CoherenceAgent(
+                    f"coherence.{name}",
+                    network,
+                    authority.name,
+                    PushStrategy(bus),
+                    domain=name,
+                )
+                agent.protect_gateway(hub)
         for index in range(peps_per_domain):
             pep = PolicyEnforcementPoint(
                 f"pep-{index}.{name}",
@@ -215,7 +334,7 @@ def build_vo(
                         replica_names[name], policy="least-outstanding"
                     ),
                     domain=name,
-                    resolve_domain=resolver,
+                    resolve_domain=resolve,
                     max_batch=PEP_BATCH,
                     max_delay=FLUSH_DELAY,
                 )
@@ -245,10 +364,40 @@ def build_vo(
                                 policy="least-outstanding",
                             ),
                         )
-    hubs = gateways if mode == "federated" else [
-        router for name in names for router in routers[name]
-    ]
-    return network, peps_by_domain, hubs
+
+    transfer = None
+    if moving_resource:
+
+        def transfer() -> None:
+            if service is not None:
+                service.transfer(moving, names[1])
+            else:
+                directory.transfer(moving, names[1])
+
+    return FederatedVO(
+        network=network,
+        peps_by_domain=peps_by_domain,
+        gateways=gateways,
+        routers=[router for name in names for router in routers[name]],
+        paps=paps,
+        authority=authority,
+        clients=clients,
+        transfer=transfer,
+    )
+
+
+def build_vo(
+    domains: int = 2,
+    replicas: int = 1,
+    peps_per_domain: int = PEPS_PER_DOMAIN,
+    mode: str = "federated",
+    seed: int = 18,
+):
+    """Historic plain-VO shape: ``(network, peps_by_domain, hubs)``."""
+    vo = build_federated_vo(
+        domains, replicas, peps_per_domain, mode=mode, seed=seed
+    )
+    return vo.network, vo.peps_by_domain, vo.hubs
 
 
 def drive(
@@ -507,84 +656,19 @@ def build_cached_vo(
     PDP subscribes to its PAP's change notifications (intra-domain
     policy coherence), so a revocation bites fresh decisions
     immediately and cached ones within the coherence machinery's reach.
+
+    Historic shape: ``(network, peps_by_domain, gateways, paps,
+    authority)``.
     """
-    network = Network(seed=seed)
-    names = domain_names(domains)
-    directory = ResourceDirectory()
-    local = Link(latency=INTRA_DOMAIN_LATENCY)
-    bus = InvalidationBus(network)
-    authority = RevocationAuthority("authority.vo", network, bus=bus)
-    replica_names: dict[str, list[str]] = {}
-    paps = {}
-    for name in names:
-        pap = PolicyAdministrationPoint(f"pap.{name}", network, domain=name)
-        publish_domain_policies(pap, name)
-        paps[name] = pap
-        pdps = [
-            PolicyDecisionPoint(
-                f"pdp-{index}.{name}",
-                network,
-                domain=name,
-                pap_address=pap.name,
-                config=PdpConfig(
-                    policy_cache_ttl=3600.0,
-                    envelope_overhead=ENVELOPE_OVERHEAD,
-                    decision_service_time=DECISION_SERVICE_TIME,
-                ),
-            )
-            for index in range(replicas)
-        ]
-        replica_names[name] = [pdp.name for pdp in pdps]
-        for pdp in pdps:
-            network.set_link(pdp.name, pap.name, local)
-            pdp.subscribe_to_policy_changes()
-        for index in range(RESOURCES_PER_DOMAIN):
-            directory.register(federated_resource_id(name, index), name)
-    resolver = directory.resolver()
-    gateways: list[FederatedGateway] = []
-    peps_by_domain: dict[str, list[PolicyEnforcementPoint]] = {}
-    for name in names:
-        hub = FederatedGateway(
-            f"gateway.{name}",
-            network,
-            DecisionDispatcher(replica_names[name], policy="least-outstanding"),
-            domain=name,
-            resolve_domain=resolver,
-            max_batch=gateway_batch_for(peps_per_domain, replicas),
-            max_delay=FLUSH_DELAY,
-            forward_delay=FORWARD_DELAY,
-            remote_cache_ttl=remote_cache_ttl,
-        )
-        gateways.append(hub)
-        for replica in replica_names[name]:
-            network.set_link(hub.name, replica, local)
-        agent = CoherenceAgent(
-            f"coherence.{name}",
-            network,
-            authority.name,
-            PushStrategy(bus),
-            domain=name,
-        )
-        agent.protect_gateway(hub)
-        peps = []
-        for index in range(peps_per_domain):
-            pep = PolicyEnforcementPoint(
-                f"pep-{index}.{name}",
-                network,
-                domain=name,
-                config=PepConfig(decision_cache_ttl=0.0),
-            )
-            pep.enable_batching(
-                max_batch=PEP_BATCH, max_delay=FLUSH_DELAY, gateway=hub
-            )
-            peps.append(pep)
-        peps_by_domain[name] = peps
-    for origin in gateways:
-        for target in gateways:
-            if origin is not target:
-                origin.add_peer(target.domain, target.name)
-                target.allow_origin(origin.domain, origin.name)
-    return network, peps_by_domain, gateways, paps, authority
+    vo = build_federated_vo(
+        domains,
+        replicas,
+        peps_per_domain,
+        remote_cache_ttl=remote_cache_ttl,
+        coherence=True,
+        seed=seed,
+    )
+    return vo.network, vo.peps_by_domain, vo.gateways, vo.paps, vo.authority
 
 
 def schedule_revocation(network, paps, authority, audit) -> None:
@@ -756,124 +840,21 @@ def build_directory_vo(
     profile assert grant parity against the in-process baseline while
     the misroute counters show where stale routing had to be repaired.
 
-    Returns ``(network, peps_by_domain, hubs, transfer, lookup_state)``
-    where ``transfer()`` performs the scheduled governance move through
-    whichever directory tier is in play.
+    Historic shape: ``(network, peps_by_domain, hubs, transfer,
+    clients)`` where ``transfer()`` performs the scheduled governance
+    move through whichever directory tier is in play.
     """
-    if directory_mode not in ("inproc", "service"):
-        raise ValueError(f"unknown directory mode {directory_mode!r}")
-    network = Network(seed=seed)
-    names = domain_names(domains)
-    directory = ResourceDirectory()
-    local = Link(latency=INTRA_DOMAIN_LATENCY)
-    moving = federated_resource_id(names[0], 0)
-    replica_names: dict[str, list[str]] = {}
-    for name in names:
-        pap = PolicyAdministrationPoint(f"pap.{name}", network, domain=name)
-        publish_domain_policies(pap, name)
-        if name == names[1]:
-            # The adopted copy of the moving resource's policy: the
-            # destination domain can answer for it identically.
-            pap.publish(
-                Policy(
-                    policy_id=f"{name}-adopted-{moving}-policy",
-                    target=subject_resource_action_target(resource_id=moving),
-                    rules=(
-                        permit_rule(
-                            "reads",
-                            target=subject_resource_action_target(
-                                action_id="read"
-                            ),
-                        ),
-                        deny_rule("rest"),
-                    ),
-                    rule_combining=combining.RULE_FIRST_APPLICABLE,
-                )
-            )
-        pdps = [
-            PolicyDecisionPoint(
-                f"pdp-{index}.{name}",
-                network,
-                domain=name,
-                pap_address=pap.name,
-                config=PdpConfig(
-                    policy_cache_ttl=3600.0,
-                    envelope_overhead=ENVELOPE_OVERHEAD,
-                    decision_service_time=DECISION_SERVICE_TIME,
-                ),
-            )
-            for index in range(replicas)
-        ]
-        replica_names[name] = [pdp.name for pdp in pdps]
-        for pdp in pdps:
-            network.set_link(pdp.name, pap.name, local)
-        for index in range(RESOURCES_PER_DOMAIN):
-            directory.register(federated_resource_id(name, index), name)
-    service = None
-    clients: dict[str, DirectoryClient] = {}
-    if directory_mode == "service":
-        service = DirectoryService("dirsvc", network, directory)
-    gateways: list[FederatedGateway] = []
-    peps_by_domain: dict[str, list[PolicyEnforcementPoint]] = {}
-    for name in names:
-        if directory_mode == "service":
-            client = DirectoryClient(
-                f"dircl.{name}",
-                network,
-                "dirsvc",
-                ttl=directory_ttl,
-                domain=name,
-                subscribe=subscribe,
-            )
-            # A well-placed registry: fast link from each domain's
-            # resolver to the directory service.
-            network.set_link(client.name, "dirsvc", local)
-            clients[name] = client
-            resolve = client.resolver()
-            resolve_authoritative = client.authoritative_resolver()
-        else:
-            resolve = directory.resolver()
-            resolve_authoritative = None
-        hub = FederatedGateway(
-            f"gateway.{name}",
-            network,
-            DecisionDispatcher(replica_names[name], policy="least-outstanding"),
-            domain=name,
-            resolve_domain=resolve,
-            resolve_authoritative=resolve_authoritative,
-            max_batch=gateway_batch_for(peps_per_domain, replicas),
-            max_delay=FLUSH_DELAY,
-            forward_delay=FORWARD_DELAY,
-        )
-        gateways.append(hub)
-        for replica in replica_names[name]:
-            network.set_link(hub.name, replica, local)
-        peps = []
-        for index in range(peps_per_domain):
-            pep = PolicyEnforcementPoint(
-                f"pep-{index}.{name}",
-                network,
-                domain=name,
-                config=PepConfig(decision_cache_ttl=0.0),
-            )
-            pep.enable_batching(
-                max_batch=PEP_BATCH, max_delay=FLUSH_DELAY, gateway=hub
-            )
-            peps.append(pep)
-        peps_by_domain[name] = peps
-    for origin in gateways:
-        for target in gateways:
-            if origin is not target:
-                origin.add_peer(target.domain, target.name)
-                target.allow_origin(origin.domain, origin.name)
-
-    def transfer() -> None:
-        if service is not None:
-            service.transfer(moving, names[1])
-        else:
-            directory.transfer(moving, names[1])
-
-    return network, peps_by_domain, gateways, transfer, clients
+    vo = build_federated_vo(
+        domains,
+        replicas,
+        peps_per_domain,
+        directory_mode=directory_mode,
+        directory_ttl=directory_ttl,
+        subscribe=subscribe,
+        moving_resource=True,
+        seed=seed,
+    )
+    return vo.network, vo.peps_by_domain, vo.gateways, vo.transfer, vo.clients
 
 
 def run_directory_profile_row(

@@ -7,14 +7,15 @@ EXPERIMENTS.md for the experiment-by-experiment reproduction record.
 
 Layering (bottom-up):
 
-``simnet`` → ``wss`` → ``wsvc`` → ``xacml`` → ``saml`` → ``components`` →
-``domain`` → ``models`` → ``capability`` → ``admin`` → ``revocation`` →
-``core`` → ``workloads`` → ``bench``
+``observability`` → ``simnet`` → ``wss`` → ``wsvc`` → ``xacml`` →
+``saml`` → ``components`` → ``domain`` → ``models`` → ``capability`` →
+``admin`` → ``revocation`` → ``core`` → ``workloads`` → ``bench``
 """
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "observability",
     "simnet",
     "wss",
     "wsvc",

@@ -45,6 +45,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from ..observability.tracing import TRACE_HEADER
 from ..simnet.events import EventHandle
 from ..simnet.message import Message
 from ..simnet.network import Network
@@ -207,6 +208,9 @@ class _PendingDecision:
     enqueued_at: float
     owner: "CoalescingDecisionQueue"
     callbacks: list[CompletionCallback] = field(default_factory=list)
+    #: Sampled decision-path trace (``observability.DecisionTrace``),
+    #: ``None`` when tracing is off or this decision was not sampled.
+    trace: Optional[object] = None
 
 
 # -- the shared wire core ----------------------------------------------------------
@@ -258,6 +262,8 @@ class _InflightEnvelope:
     tried: list[str]
     sent_at: float
     job: WireJob
+    #: Open envelope span for this transmit attempt (tracing only).
+    trace: Optional[object] = None
 
     # The per-PEP tier calls its items entries; the gateway tiers call
     # them slots.  Both views read the same list.
@@ -340,6 +346,21 @@ class BatchWireCore:
             kind=action,
             payload=payload,
         )
+        tracer = self.component.network.tracer
+        envelope_trace = None
+        if tracer.enabled:
+            # The context rides the message *headers* — outside the
+            # size model, like a traceparent header — so tracing never
+            # changes envelope bytes, counts or pacing.
+            envelope_trace = tracer.envelope_sent(
+                self.component,
+                items,
+                batch_id=getattr(batch, "batch_id", ""),
+                kind=action,
+                replica=replica,
+                attempt=len(tried) + 1,
+            )
+            message.headers[TRACE_HEADER] = envelope_trace.context.header()
         self._inflight[message.msg_id] = _InflightEnvelope(
             batch=batch,
             items=items,
@@ -347,6 +368,7 @@ class BatchWireCore:
             tried=tried + [replica],
             sent_at=self.component.now,
             job=job,
+            trace=envelope_trace,
         )
         if job.dispatcher is not None:
             job.dispatcher.note_sent(replica)
@@ -381,6 +403,10 @@ class BatchWireCore:
         job = inflight.job
         replica = job.select(inflight.tried)
         if replica is None:
+            if inflight.trace is not None:
+                self.component.network.tracer.envelope_done(
+                    inflight.trace, inflight.items, "exhausted"
+                )
             job.fail(
                 inflight.items,
                 RpcTimeout(
@@ -394,6 +420,10 @@ class BatchWireCore:
         self.failovers += 1
         if job.dispatcher is not None:
             job.dispatcher.failovers += 1
+        if inflight.trace is not None:
+            self.component.network.tracer.envelope_done(
+                inflight.trace, inflight.items, "timeout"
+            )
         self._transmit(replica, inflight.items, inflight.tried, job)
 
     def handle_reply(self, message: Message) -> None:
@@ -414,8 +444,16 @@ class BatchWireCore:
                     f"for {len(inflight.items)} requests"
                 )
         except Exception as exc:  # malformed/forged reply: fail safe
+            if inflight.trace is not None:
+                self.component.network.tracer.envelope_done(
+                    inflight.trace, inflight.items, "reply-rejected"
+                )
             job.fail(inflight.items, exc)
             return None
+        if inflight.trace is not None:
+            self.component.network.tracer.envelope_done(
+                inflight.trace, inflight.items, "ok"
+            )
         job.deliver(inflight.items, statement_batch.statements)
         return None
 
@@ -424,6 +462,10 @@ class BatchWireCore:
         if inflight is None:
             return None
         code, reason = _parse_fault(str(message.payload))
+        if inflight.trace is not None:
+            self.component.network.tracer.envelope_done(
+                inflight.trace, inflight.items, "fault"
+            )
         # A fault is an answer, not a crash: no failover, fail-safe deny.
         inflight.job.fail(inflight.items, RpcFault(code, reason))
         return None
@@ -542,8 +584,11 @@ class CoalescingDecisionQueue:
         self.submissions += 1
         self.pep.enforcements += 1
         cache_key = request.cache_key()
+        tracer = self.pep.network.tracer
         immediate = self.pep._pre_decision(request, cache_key)
         if immediate is not None:
+            if tracer.enabled:
+                tracer.sync_decision(self.pep, request, immediate)
             self.completions += 1
             callback(immediate)
             return True
@@ -551,6 +596,8 @@ class CoalescingDecisionQueue:
         entry = self._pending.get(key) or self._inflight_keys.get(key)
         if entry is not None:
             self.deduplicated += 1
+            if tracer.enabled:
+                tracer.join_decision(entry.trace)
             entry.callbacks.append(callback)
             return False
         entry = _PendingDecision(
@@ -560,6 +607,11 @@ class CoalescingDecisionQueue:
             enqueued_at=self.pep.now,
             owner=self,
             callbacks=[callback],
+            trace=(
+                tracer.begin_decision(self.pep, request)
+                if tracer.enabled
+                else None
+            ),
         )
         self._pending[key] = entry
         if len(self._pending) >= self.max_batch:
@@ -592,8 +644,11 @@ class CoalescingDecisionQueue:
             return
         entries = list(self._pending.values())
         self._pending.clear()
+        now = self.pep.now
         for entry in entries:  # stays put until completion/failure
             self._inflight_keys[entry.key] = entry
+            if entry.trace is not None:
+                entry.trace.mark("flush", now)
         if self.gateway is not None:
             # No envelope leaves this queue: the gateway owns the wire
             # (its super_batches_sent counts envelopes; this queue's
@@ -647,6 +702,7 @@ class CoalescingDecisionQueue:
         self._inflight_keys.pop(entry.key, None)
         self.pep.decision_cache.put(entry.cache_key, statement)
         self._record_latency(entry)
+        last_result = None
         for callback in entry.callbacks:
             result = self.pep._enforce(
                 statement.response.decision,
@@ -655,16 +711,36 @@ class CoalescingDecisionQueue:
                 source="pdp",
             )
             self.completions += 1
+            last_result = result
             callback(result)
+        if entry.trace is not None:
+            self.pep.network.tracer.finish_decision(
+                entry.trace,
+                self.pep,
+                granted=getattr(last_result, "granted", False),
+                decision=str(statement.response.decision),
+                source="pdp",
+            )
 
     def _fail_entry(self, entry: _PendingDecision, exc: Exception) -> None:
         """Fail-safe denial for every waiter of one entry."""
         self._inflight_keys.pop(entry.key, None)
         self._record_latency(entry)
+        last_result = None
         for callback in entry.callbacks:
             result = self.pep._fail_safe_result(exc)
             self.completions += 1
+            last_result = result
             callback(result)
+        if entry.trace is not None:
+            self.pep.network.tracer.finish_decision(
+                entry.trace,
+                self.pep,
+                granted=getattr(last_result, "granted", False),
+                decision=str(getattr(last_result, "decision", "")),
+                source=getattr(last_result, "source", "fail-safe"),
+                error=type(exc).__name__,
+            )
 
     def _fail_batch(
         self, entries: list[_PendingDecision], exc: Exception
@@ -872,9 +948,15 @@ class DomainDecisionGateway(Component):
         self.flushes_received += 1
         self.requests_ingested += len(entries)
         for entry in entries:
-            slot = self._pending_slots.get(
-                entry.cache_key
-            ) or self._inflight_slots.get(entry.cache_key)
+            slot = self._pending_slots.get(entry.cache_key)
+            if slot is None:
+                slot = self._inflight_slots.get(entry.cache_key)
+                if slot is not None and entry.trace is not None:
+                    # Joining a slot already on the wire: this entry's
+                    # wire phase starts now (it only waits the envelope
+                    # remainder), not at the envelope's original send.
+                    entry.trace.mark_first("sent", self.now)
+                    entry.trace.set("joined_in_flight", True)
             if slot is not None:
                 self.cross_pep_deduplicated += 1
                 slot.entries.append(entry)

@@ -38,10 +38,11 @@ classification, the forwarded-envelope profile and the origin checks.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 from xml.sax.saxutils import quoteattr
 
+from ..observability.tracing import TRACE_HEADER, TraceContext
 from ..saml.xacml_profile import (
     XacmlAuthzDecisionBatchQuery,
     XacmlAuthzDecisionBatchStatement,
@@ -100,6 +101,10 @@ class ForwardedBatchQuery:
     origin_domain: str
     origin_gateway: str
     ttl: int = DEFAULT_FORWARD_TTL
+    #: Trace context of the carrying envelope, re-attached from the
+    #: message *headers* on receipt (never serialised into the XML —
+    #: tracing must not change a forward's wire size by one byte).
+    trace: Optional[str] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.ttl < 1:
@@ -169,9 +174,31 @@ class _ServiceContext:
         self.statements: list = [None] * len(fwd.batch.queries)
         self.outstanding = 0
         self.replied = False
+        self.arrived_at = gateway.now
+        # Serving-hop trace context: parented under the origin
+        # envelope's span (carried in the forward's message headers),
+        # one hop deeper.  Onward envelopes sent for this context join
+        # the same trace through ``serve_ctx`` — that is how remote-hop
+        # spans parent correctly across domains.
+        self.serve_ctx: Optional[TraceContext] = None
+        self._serve_parent: Optional[str] = None
+        self._counts: Optional[dict[str, int]] = None
+        tracer = gateway.network.tracer
+        if tracer.enabled:
+            context = TraceContext.parse(fwd.trace)
+            if context is not None:
+                self.serve_ctx = tracer.child_context(context)
+                self._serve_parent = context.span_id
 
     def start(self) -> None:
         gateway = self.gateway
+        counters_before = (
+            gateway.recheck_failures,
+            gateway.misroutes_detected,
+            gateway.misroutes_reforwarded,
+            gateway.ttl_denials,
+            gateway.unknown_domain_denials,
+        )
         local_parts: list[_ServicePart] = []
         onward: dict[str, list[_ServicePart]] = {}
         for index, query in enumerate(self.fwd.batch.queries):
@@ -215,6 +242,21 @@ class _ServiceContext:
                 self.statements[index] = gateway._indeterminate_statement(
                     query, f"no route to domain {governing!r}"
                 )
+        if self.serve_ctx is not None:
+            # ``start`` runs atomically in simulated time, so the
+            # counter deltas are exactly this batch's routing outcomes —
+            # recorded on the serve span for the trace-query audits.
+            self._counts = {
+                "recheck_failed": gateway.recheck_failures
+                - counters_before[0],
+                "misroutes": gateway.misroutes_detected - counters_before[1],
+                "reforwarded": gateway.misroutes_reforwarded
+                - counters_before[2],
+                "ttl_expired": gateway.ttl_denials - counters_before[3],
+                "unknown_domain": gateway.unknown_domain_denials
+                - counters_before[4],
+                "local": len(local_parts),
+            }
         groups: list[tuple[Optional[str], list[_ServicePart]]] = []
         if local_parts:
             groups.append((None, local_parts))
@@ -276,6 +318,22 @@ class _ServiceContext:
         else:
             payload = answer.to_xml()
         gateway.forwarded_decisions_returned += len(self.statements)
+        if self.serve_ctx is not None:
+            gateway.network.tracer.emit(
+                "federation.serve",
+                gateway.name,
+                gateway.domain,
+                start=self.arrived_at,
+                end=gateway.now,
+                trace_id=self.serve_ctx.trace_id,
+                parent_id=self._serve_parent,
+                span_id=self.serve_ctx.span_id,
+                hops=self.serve_ctx.hops,
+                origin_domain=self.fwd.origin_domain,
+                batch_id=self.fwd.batch.batch_id,
+                decisions=len(self.statements),
+                **(self._counts or {}),
+            )
         gateway.node.send(
             self.message.reply(
                 kind=f"{self.message.kind}:response", payload=payload
@@ -586,6 +644,11 @@ class FederatedGateway(DomainDecisionGateway):
         # Counted at delivery time so waiters that joined the inflight
         # slot after the hit are included.
         self.remote_cache_decisions_served += len(slot.entries)
+        tracer = self.network.tracer
+        if tracer.enabled:
+            # No envelope left this gateway: the riding decisions' wire
+            # phase collapses to zero, labelled as a gateway-cache hit.
+            tracer.cache_hit(self, [slot], cache="gateway-remote")
         self._deliver_slots([slot], [statement])
 
     def _cache_remote_statements(
@@ -813,8 +876,21 @@ class FederatedGateway(DomainDecisionGateway):
                 config=SecurityConfig(require_signature=True),
                 at=self.now,
             )
-            return ForwardedBatchQuery.from_xml(clear.body_xml), signer_of(clear)
-        return ForwardedBatchQuery.from_xml(str(message.payload)), None
+            forwarded = ForwardedBatchQuery.from_xml(clear.body_xml)
+            return self._attach_trace(forwarded, message), signer_of(clear)
+        forwarded = ForwardedBatchQuery.from_xml(str(message.payload))
+        return self._attach_trace(forwarded, message), None
+
+    def _attach_trace(
+        self, forwarded: ForwardedBatchQuery, message: Message
+    ) -> ForwardedBatchQuery:
+        """Re-attach the header-borne trace context to the decoded
+        forward (the context is carried *beside* the XML, never in it,
+        so tracing cannot perturb forward sizes)."""
+        header = message.headers.get(TRACE_HEADER)
+        if header is None or not self.network.tracer.enabled:
+            return forwarded
+        return replace(forwarded, trace=str(header))
 
     def _reject_origin(self, code: str, reason: str) -> RpcFault:
         self.origin_rejections += 1

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..observability.tracing import TRACE_HEADER, TraceContext
 from ..simnet.message import Message
 from ..saml.xacml_profile import (
     XacmlAuthzDecisionBatchQuery,
@@ -236,7 +237,9 @@ class PolicyDecisionPoint(Component):
 
     # -- service-time model -------------------------------------------------------------
 
-    def _reply_after_service(self, message: Message, payload, decisions: int):
+    def _reply_after_service(
+        self, message: Message, payload, decisions: int, batch_id: str = ""
+    ):
         """Return the reply now, or queue it behind this PDP's busy time.
 
         With the service-time model disabled (the default) the payload is
@@ -255,9 +258,13 @@ class PolicyDecisionPoint(Component):
                 * self.config.decision_service_time
             )
         if cost <= 0:
+            self._trace_service(message, batch_id, decisions, 0.0, 0.0)
             return payload
         start = max(self._busy_until, self.now)
         self._busy_until = start + cost
+        self._trace_service(
+            message, batch_id, decisions, start - self.now, cost
+        )
         reply = message.reply(kind=f"{message.kind}:response", payload=payload)
 
         def send_reply() -> None:
@@ -268,6 +275,43 @@ class PolicyDecisionPoint(Component):
             self._busy_until - self.now, send_reply, label="pdp-service"
         )
         return None
+
+    def _trace_service(
+        self,
+        message: Message,
+        batch_id: str,
+        decisions: int,
+        queued: float,
+        cost: float,
+    ) -> None:
+        """Record this envelope's service span, parented under the
+        sender's envelope span via the message's trace header.
+
+        The span covers arrival → reply emission; its attributes split
+        that into busy-wait (``queued``), per-envelope parse/signature
+        work (``overhead``) and the worker-pool decision makespan
+        (``eval``) — the figures the latency decomposition joins on.
+        """
+        tracer = self.network.tracer
+        if not tracer.enabled:
+            return
+        context = TraceContext.parse(message.headers.get(TRACE_HEADER))
+        overhead = min(self.config.envelope_overhead, cost) if cost else 0.0
+        tracer.emit(
+            "pdp.service",
+            self.name,
+            self.domain,
+            start=self.now,
+            end=self.now + queued + cost,
+            trace_id=context.trace_id if context else None,
+            parent_id=context.span_id if context else None,
+            batch_id=batch_id,
+            decisions=decisions,
+            queued=queued,
+            overhead=overhead,
+            eval=max(cost - overhead, 0.0),
+            workers=self.config.worker_count,
+        )
 
     # -- message handlers ---------------------------------------------------------------
 
@@ -287,7 +331,9 @@ class PolicyDecisionPoint(Component):
             issue_instant=self.now,
             request_echo=query.request if query.return_context else None,
         )
-        return self._reply_after_service(message, statement.to_xml(), decisions=1)
+        return self._reply_after_service(
+            message, statement.to_xml(), decisions=1, batch_id=query.query_id
+        )
 
     def _handle_batch_query(self, message: Message):
         if self.config.require_signed_queries:
@@ -299,7 +345,10 @@ class PolicyDecisionPoint(Component):
         batch = XacmlAuthzDecisionBatchQuery.from_xml(str(message.payload))
         reply = self._answer_batch(batch)
         return self._reply_after_service(
-            message, reply.to_xml(), decisions=len(batch.queries)
+            message,
+            reply.to_xml(),
+            decisions=len(batch.queries),
+            batch_id=batch.batch_id,
         )
 
     def _answer_batch(
@@ -369,7 +418,9 @@ class PolicyDecisionPoint(Component):
         reply = self._sign_reply(
             f"{SECURE_QUERY_ACTION}:result", statement.to_xml()
         )
-        return self._reply_after_service(message, reply, decisions=1)
+        return self._reply_after_service(
+            message, reply, decisions=1, batch_id=query.query_id
+        )
 
     def _handle_secure_batch_query(self, message: Message):
         """One signature verified, one signed for the whole batch.
@@ -386,5 +437,8 @@ class PolicyDecisionPoint(Component):
             f"{SECURE_BATCH_QUERY_ACTION}:result", answer.to_xml()
         )
         return self._reply_after_service(
-            message, reply, decisions=len(batch.queries)
+            message,
+            reply,
+            decisions=len(batch.queries),
+            batch_id=batch.batch_id,
         )

@@ -357,6 +357,25 @@ class PolicyEnforcementPoint(Component):
     def authorize(self, request: RequestContext) -> EnforcementResult:
         """Full pull-model enforcement of one access request."""
         self.enforcements += 1
+        tracer = self.network.tracer
+        trace = tracer.begin_decision(self, request) if tracer.enabled else None
+        if trace is not None:
+            # A blocking RPC has no queue/batch/demux phases: record a
+            # single span covering the whole call.
+            trace.set("sync", True)
+            trace.set("path", "authorize")
+        result = self._authorize_inner(request)
+        if trace is not None:
+            tracer.finish_decision(
+                trace,
+                self,
+                granted=result.granted,
+                decision=str(result.decision),
+                source=result.source,
+            )
+        return result
+
+    def _authorize_inner(self, request: RequestContext) -> EnforcementResult:
         cache_key = request.cache_key()
         immediate = self._pre_decision(request, cache_key)
         if immediate is not None:
@@ -426,6 +445,12 @@ class PolicyEnforcementPoint(Component):
                             requests[index],
                             source="pdp",
                         )
+        tracer = self.network.tracer
+        if tracer.enabled:
+            for request, result in zip(requests, results):
+                tracer.sync_decision(
+                    self, request, result, path="authorize_batch"
+                )
         return results  # type: ignore[return-value]
 
     def _enforce(

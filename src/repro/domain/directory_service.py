@@ -317,13 +317,54 @@ class DirectoryClient(Component):
         """
         if resource_id is None:
             return None
+        tracer = self.network.tracer
+        started = self.now if tracer.enabled else 0.0
         if authoritative:
             self.authoritative_lookups += 1
-            return self.lookup(resource_id, fail_closed=True)
+            domain = self.lookup(resource_id, fail_closed=True)
+            if tracer.enabled:
+                self._trace_resolve(
+                    started, resource_id, domain, cached=False,
+                    authoritative=True,
+                )
+            return domain
         cached = self.cache.get(resource_id)
         if cached is not None:
+            if tracer.enabled:
+                self._trace_resolve(
+                    started, resource_id, cached or None, cached=True,
+                    authoritative=False,
+                )
             return cached or None
-        return self.lookup(resource_id)
+        domain = self.lookup(resource_id)
+        if tracer.enabled:
+            self._trace_resolve(
+                started, resource_id, domain, cached=False,
+                authoritative=False,
+            )
+        return domain
+
+    def _trace_resolve(
+        self,
+        started: float,
+        resource_id: str,
+        domain: Optional[str],
+        cached: bool,
+        authoritative: bool,
+    ) -> None:
+        """One ``directory.resolve`` span: a cache hit is zero-duration,
+        a lookup covers the blocking RPC."""
+        self.network.tracer.emit(
+            "directory.resolve",
+            self.name,
+            self.domain,
+            start=started,
+            end=self.now,
+            resource=resource_id,
+            governing=domain or "",
+            cached=cached,
+            authoritative=authoritative,
+        )
 
     def resolver(self) -> DomainResolver:
         """TTL'd request→domain resolver (a gateway's ``resolve_domain``)."""

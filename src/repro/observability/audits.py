@@ -1,0 +1,155 @@
+"""Trace-query audits: re-derive dependability evidence from spans.
+
+The point of per-request causal records is that aggregate claims stop
+being trusted outputs and become *checkable* ones.  Each audit here
+recomputes, purely from the span store, a number the system already
+tracks through an independent mechanism — the closed-loop observer's
+:class:`~repro.workloads.multidomain.StalenessAudit`, the
+``federation.misroute`` / ``federation.ttl_expired`` counters — so E24
+can cross-check them exactly.  Disagreement means either the
+instrumentation or the counter is lying; agreement is the evidence the
+E23 chaos campaign will lean on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .tracing import Span
+
+
+@dataclass
+class StalenessFromSpans:
+    """Span-derived twin of ``StalenessAudit``'s counters.
+
+    One decision root span with ``waiters=n`` corresponds to ``n``
+    observer callbacks (the coalescing queue completes every
+    deduplicated waiter at the same instant), so each root contributes
+    its waiter count.
+    """
+
+    subject_id: str
+    revoked_at: float | None
+    coherence_window: float
+    grants_before: int = 0
+    denials_after: int = 0
+    stale_grants_in_window: int = 0
+    violations: list[float] = field(default_factory=list)
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+
+def rederive_staleness(
+    spans: Sequence[Span],
+    subject_id: str,
+    revoked_at: float | None,
+    coherence_window: float,
+) -> StalenessFromSpans:
+    """Reclassify every completion for ``subject_id`` from decision
+    roots, using the same boundaries as ``StalenessAudit.__call__``."""
+    audit = StalenessFromSpans(
+        subject_id=subject_id,
+        revoked_at=revoked_at,
+        coherence_window=coherence_window,
+    )
+    for span in spans:
+        if span.name != "decision":
+            continue
+        if span.attrs.get("subject") != subject_id:
+            continue
+        now = span.end
+        granted = bool(span.attrs.get("granted", False))
+        waiters = int(span.attrs.get("waiters", 1))
+        if revoked_at is None or now < revoked_at:
+            if granted:
+                audit.grants_before += waiters
+            continue
+        if not granted:
+            audit.denials_after += waiters
+        elif now <= revoked_at + coherence_window:
+            audit.stale_grants_in_window += waiters
+        else:
+            audit.violations.extend([now] * waiters)
+    return audit
+
+
+def misroute_accounting(spans: Sequence[Span]) -> dict[str, int]:
+    """Total the per-serving-hop routing outcomes recorded on
+    ``federation.serve`` spans.
+
+    Keys mirror the ``federation.*`` counters they must equal:
+    ``misroute`` ↔ ``federation.misroute``, ``ttl_expired`` ↔
+    ``federation.ttl_expired``, ``unknown_domain`` ↔ the serving side's
+    share of ``federation.unknown_domain``.
+    """
+    totals = {
+        "serves": 0,
+        "misroute": 0,
+        "reforwarded": 0,
+        "ttl_expired": 0,
+        "unknown_domain": 0,
+        "recheck_failed": 0,
+        "local_decisions": 0,
+    }
+    for span in spans:
+        if span.name != "federation.serve":
+            continue
+        totals["serves"] += 1
+        totals["misroute"] += int(span.attrs.get("misroutes", 0))
+        totals["reforwarded"] += int(span.attrs.get("reforwarded", 0))
+        totals["ttl_expired"] += int(span.attrs.get("ttl_expired", 0))
+        totals["unknown_domain"] += int(span.attrs.get("unknown_domain", 0))
+        totals["recheck_failed"] += int(span.attrs.get("recheck_failed", 0))
+        totals["local_decisions"] += int(span.attrs.get("local", 0))
+    return totals
+
+
+@dataclass(frozen=True)
+class ForwardingReport:
+    """Shape of the forwarding fabric as seen from serve spans."""
+
+    serves: int
+    max_hops: int
+    #: Traces whose serving-hop chain revisited a domain — a forwarding
+    #: loop the TTL is supposed to make impossible.
+    loops: tuple[str, ...]
+    ttl_expired: int
+
+
+def forwarding_report(spans: Sequence[Span]) -> ForwardingReport:
+    """Detect forwarding loops and measure chain depth.
+
+    Serving hops of one forward share the originating envelope's trace
+    (the onward envelope joins the serving context's trace), so a chain
+    is simply the serve spans of one trace in time order; a repeated
+    serving domain inside one chain is a loop.
+    """
+    chains: dict[str, list[Span]] = {}
+    ttl_expired = 0
+    for span in spans:
+        if span.name != "federation.serve":
+            continue
+        chains.setdefault(span.trace_id, []).append(span)
+        ttl_expired += int(span.attrs.get("ttl_expired", 0))
+    loops: list[str] = []
+    max_hops = 0
+    serves = 0
+    for trace_id, chain in chains.items():
+        chain.sort(key=lambda s: (s.start, s.span_id))
+        serves += len(chain)
+        seen_domains: set[str] = set()
+        for span in chain:
+            max_hops = max(max_hops, int(span.attrs.get("hops", 0)))
+            if span.domain in seen_domains:
+                loops.append(trace_id)
+                break
+            seen_domains.add(span.domain)
+    return ForwardingReport(
+        serves=serves,
+        max_hops=max_hops,
+        loops=tuple(loops),
+        ttl_expired=ttl_expired,
+    )

@@ -13,6 +13,24 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 
+def _percentile(data: list[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted ``data``.
+
+    The inclusive method (numpy's default): ``q`` of 0.5 over an even
+    count averages the two middle elements instead of grabbing the
+    upper one, and tail percentiles interpolate instead of truncating
+    down — benchmark tables were under-reporting tails before.
+    """
+    if len(data) == 1:
+        return data[0]
+    position = q * (len(data) - 1)
+    lower = int(position)
+    if lower + 1 >= len(data):
+        return data[-1]
+    fraction = position - lower
+    return data[lower] + (data[lower + 1] - data[lower]) * fraction
+
+
 @dataclass
 class LatencyStats:
     """Summary statistics over a set of latency samples (seconds)."""
@@ -21,18 +39,22 @@ class LatencyStats:
     mean: float
     p50: float
     p95: float
+    p99: float
     maximum: float
 
     @classmethod
     def from_samples(cls, samples: Iterable[float]) -> "LatencyStats":
         data = sorted(samples)
         if not data:
-            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, maximum=0.0)
+            return cls(
+                count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0
+            )
         return cls(
             count=len(data),
             mean=statistics.fmean(data),
-            p50=data[len(data) // 2],
-            p95=data[min(len(data) - 1, int(0.95 * len(data)))],
+            p50=_percentile(data, 0.50),
+            p95=_percentile(data, 0.95),
+            p99=_percentile(data, 0.99),
             maximum=data[-1],
         )
 
@@ -103,7 +125,12 @@ class MetricsRegistry:
         return LatencyStats.from_samples(self.latency_samples)
 
     def snapshot(self) -> dict[str, object]:
-        """A plain-dict view suitable for printing in benchmark tables."""
+        """A plain-dict view suitable for printing in benchmark tables.
+
+        Includes per-kind byte totals (``bytes[<kind>]``) and a summary
+        of every named sample series (``series[<name>]``) so benchmark
+        collectors can emit them without bespoke plumbing.
+        """
         lat = self.latency()
         return {
             "messages_sent": self.messages_sent,
@@ -113,8 +140,27 @@ class MetricsRegistry:
             "bytes_delivered": self.bytes_delivered,
             "latency_mean_ms": round(lat.mean * 1000, 3),
             "latency_p95_ms": round(lat.p95 * 1000, 3),
+            "latency_p99_ms": round(lat.p99 * 1000, 3),
             **{f"sent[{k}]": v for k, v in sorted(self.sent_by_kind.items())},
+            **{f"bytes[{k}]": v for k, v in sorted(self.bytes_by_kind.items())},
             **{f"count[{k}]": v for k, v in sorted(self.counters.items())},
+            **{
+                f"series[{name}]": self._series_summary(name)
+                for name in sorted(self.samples)
+            },
+        }
+
+    def _series_summary(self, name: str) -> dict[str, float]:
+        """One series' summary in raw units (series are not all
+        latencies — batch sizes share the mechanism)."""
+        stats = self.series(name)
+        return {
+            "count": stats.count,
+            "mean": round(stats.mean, 6),
+            "p50": round(stats.p50, 6),
+            "p95": round(stats.p95, 6),
+            "p99": round(stats.p99, 6),
+            "max": round(stats.maximum, 6),
         }
 
     def reset(self) -> None:

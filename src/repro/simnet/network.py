@@ -22,6 +22,7 @@ from .clock import SimClock
 from .events import EventLoop, TopicEvent
 from .message import Message
 from .metrics import MetricsRegistry
+from ..observability.tracing import Tracer
 
 #: Default one-way latency between two nodes in the same domain (seconds).
 INTRA_DOMAIN_LATENCY = 0.0005
@@ -99,6 +100,10 @@ class Network:
         self.loop = loop if loop is not None else EventLoop(SimClock())
         self.rng = random.Random(seed)
         self.metrics = MetricsRegistry()
+        #: Decision-path tracer, off by default (``sample_rate`` 0).
+        #: Set ``network.tracer.sample_rate = 1.0`` before a run to
+        #: collect causal span trees; see ``repro.observability``.
+        self.tracer = Tracer(now=lambda: self.loop.now)
         self._nodes: dict[str, Node] = {}
         self._links: dict[tuple[str, str], Link] = {}
         self.default_link = Link()

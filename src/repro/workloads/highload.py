@@ -177,7 +177,7 @@ def run_closed_loop_multi(
             "pumping": False,
         }
 
-        def on_complete(result, request=None) -> None:
+        def on_complete(result, request) -> None:
             state["completed"] += 1
             if result.granted:
                 state["granted"] += 1
@@ -200,18 +200,17 @@ def run_closed_loop_multi(
                 ):
                     request = requests[state["next"]]
                     state["next"] += 1
-                    if observer is None:
-                        pep.submit(request, on_complete)
-                    else:
-                        # Bind the request so the observer sees which
-                        # identity completed (the shared callback alone
-                        # cannot know).
-                        pep.submit(
-                            request,
-                            lambda result, request=request: on_complete(
-                                result, request
-                            ),
-                        )
+                    # The request is always bound into the callback —
+                    # observer or not — so every completion path hands
+                    # the observer the matching (pep, request, result)
+                    # triple (late binding here once made the observer
+                    # see request=None on one branch).
+                    pep.submit(
+                        request,
+                        lambda result, request=request: on_complete(
+                            result, request
+                        ),
+                    )
             finally:
                 state["pumping"] = False
 

@@ -1,0 +1,113 @@
+"""Metric-catalog lint: ``src/`` call sites vs ``observability.catalog``.
+
+Counter and series names are stringly typed at their call sites, so a
+rename in one place silently zeroes every assertion and dashboard that
+reads the old name.  This lint keeps the catalog honest in both
+directions: every literal bumped/recorded in ``src/`` must be
+cataloged, and every cataloged name must still exist at some call site
+(literal or named constant) — a stale catalog entry is as misleading
+as a missing one.
+"""
+
+import re
+from pathlib import Path
+
+from repro.components.fabric import (
+    QUEUE_LATENCY_SERIES,
+    SUPER_BATCH_SERIES,
+    pep_latency_series,
+)
+from repro.observability.catalog import (
+    COUNTERS,
+    SERIES,
+    SERIES_PREFIXES,
+    is_cataloged_series,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: ``metrics.bump("name" ...)`` / ``record_sample("name" ...)`` with a
+#: string literal first argument.
+BUMP_LITERAL = re.compile(r"\.bump\(\s*(['\"])([^'\"]+)\1")
+SAMPLE_LITERAL = re.compile(r"\.record_sample\(\s*(['\"])([^'\"]+)\1")
+
+
+def scan(pattern: re.Pattern) -> dict[str, list[str]]:
+    """All literal metric names in ``src/``, with their defining files."""
+    found: dict[str, list[str]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "catalog.py":
+            continue
+        for match in pattern.finditer(path.read_text(encoding="utf-8")):
+            found.setdefault(match.group(2), []).append(
+                str(path.relative_to(SRC))
+            )
+    return found
+
+
+class TestCounterCatalog:
+    def test_every_bumped_literal_is_cataloged(self):
+        bumped = scan(BUMP_LITERAL)
+        missing = {
+            name: files
+            for name, files in bumped.items()
+            if name not in COUNTERS
+        }
+        assert not missing, (
+            f"bump() literals missing from observability.catalog.COUNTERS: "
+            f"{missing}"
+        )
+
+    def test_every_cataloged_counter_is_still_bumped(self):
+        bumped = scan(BUMP_LITERAL)
+        stale = sorted(set(COUNTERS) - set(bumped))
+        assert not stale, (
+            f"cataloged counters no longer bumped anywhere in src/: {stale}"
+        )
+
+    def test_counters_document_owner_and_meaning(self):
+        for name, (module, meaning) in COUNTERS.items():
+            assert module and meaning, f"{name}: empty catalog entry"
+
+
+class TestSeriesCatalog:
+    def test_every_recorded_literal_is_cataloged(self):
+        recorded = scan(SAMPLE_LITERAL)
+        missing = {
+            name: files
+            for name, files in recorded.items()
+            if not is_cataloged_series(name)
+        }
+        assert not missing, (
+            f"record_sample() literals missing from catalog: {missing}"
+        )
+
+    def test_fabric_series_constants_are_cataloged(self):
+        """The fabric's series names live in constants, not literals —
+        pin them to the catalog explicitly."""
+        assert QUEUE_LATENCY_SERIES in SERIES
+        assert SUPER_BATCH_SERIES in SERIES
+        assert is_cataloged_series(pep_latency_series("pep-0"))
+
+    def test_every_cataloged_series_has_a_live_source(self):
+        recorded = set(scan(SAMPLE_LITERAL))
+        constants = {QUEUE_LATENCY_SERIES, SUPER_BATCH_SERIES}
+        stale = sorted(set(SERIES) - recorded - constants)
+        assert not stale, (
+            f"cataloged series with no live call site or constant: {stale}"
+        )
+
+    def test_prefix_series_match_their_constant(self):
+        for prefix in SERIES_PREFIXES:
+            derived = pep_latency_series("x")
+            if derived.startswith(prefix):
+                break
+        else:
+            raise AssertionError(
+                "no dynamic series constructor produces any cataloged "
+                f"prefix: {sorted(SERIES_PREFIXES)}"
+            )
+
+    def test_series_document_owner_and_meaning(self):
+        for name, (module, meaning) in {**SERIES, **SERIES_PREFIXES}.items():
+            assert module and meaning, f"{name}: empty catalog entry"
