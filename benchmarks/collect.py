@@ -12,7 +12,10 @@ so every PR records where the headline experiments stand:
 * **E18c** — gateway-tier remote-decision cache (msgs/decision cut,
   zero post-coherence-window stale grants);
 * **E18d** — TTL'd directory service vs the in-process baseline
-  (misroutes re-forwarded, grant parity).
+  (misroutes re-forwarded, grant parity);
+* **E19** — sharded PDP placement at 10^6 subjects: decisions/s,
+  per-replica state cardinality, sharded-vs-unsharded decision
+  mismatches (pinned 0).
 
 Runs everything in smoke dimensions (the module forces
 ``REPRO_BENCH_SMOKE=1`` before importing the benchmark modules, whose
@@ -76,7 +79,7 @@ def collect_e15() -> dict:
 def collect_e16() -> dict:
     """Per-PEP batched fabric: the batch-1 baseline vs the full fabric."""
     import test_e16_batching as e16
-    from repro.workloads import run_closed_loop
+    from repro.workloads import drive_closed_loop
 
     configs = {}
     for label, batch, replicas in (
@@ -84,9 +87,9 @@ def collect_e16() -> dict:
         ("fabric_b8_r2", 8, 2),
     ):
         network, pep, pdps, dispatcher = e16.build_fabric(batch, replicas)
-        stats = run_closed_loop(
-            pep, e16.request_mix(e16.EVENTS), concurrency=8
-        )
+        stats = drive_closed_loop(
+            [pep], [e16.request_mix(e16.EVENTS)], concurrency=8
+        ).fleet
         configs[label] = {
             "decisions_per_sec": round(stats.decisions_per_sec, 1),
             "msgs_per_decision": round(stats.messages_per_decision, 4),
@@ -291,6 +294,50 @@ def collect_e24() -> dict:
     }
 
 
+def collect_e19() -> dict:
+    """Sharded placement at the million-subject tier.
+
+    The population is streaming, so the 10^6 tier costs the same per
+    event as the smoke tiers — the headline really is measured at a
+    million subjects even in the smoke pass.  Mismatches between the
+    sharded and unsharded tiers' decisions are the correctness pin
+    (zero baseline: the gate fails on any non-zero value).
+    """
+    import test_e19_population as e19
+
+    subjects = 1_000_000
+    sharded_run, sharded_decisions, sharded_state = e19.run_tier(
+        subjects, sharded=True
+    )
+    unsharded_run, unsharded_decisions, unsharded_state = e19.run_tier(
+        subjects, sharded=False
+    )
+    mismatches = sum(
+        1
+        for key, granted in sharded_decisions.items()
+        if unsharded_decisions.get(key) != granted
+    )
+    configs = {}
+    for label, run, state in (
+        ("sharded", sharded_run, sharded_state),
+        ("unsharded", unsharded_run, unsharded_state),
+    ):
+        configs[label] = {
+            "decisions_per_sec": round(run.fleet.decisions_per_sec, 1),
+            "queue_p95_ms": round(run.fleet.queue_latency.p95 * 1000, 2),
+            "max_replica_state": state["max"],
+            "fleet_state": state["fleet"],
+        }
+    configs["touched_subjects"] = sharded_state["touched"]
+    configs["mismatches"] = mismatches
+    return {
+        "description": f"sharded vs stateless placement at {subjects} "
+        f"subjects, {e19.REPLICAS} replicas x {e19.PEPS} PEPs "
+        f"({e19.EVENTS_PER_PEP * e19.PEPS} closed-loop requests)",
+        "configs": configs,
+    }
+
+
 def collect() -> dict:
     summary = {
         "schema": 2,
@@ -303,6 +350,7 @@ def collect() -> dict:
             "E18": collect_e18(),
             "E18c": collect_e18_cache(),
             "E18d": collect_e18_directory(),
+            "E19": collect_e19(),
             "E24": collect_e24(),
         },
     }
@@ -335,6 +383,17 @@ def collect() -> dict:
             "push"
         ]["mean_staleness_s"],
     }
+    e19 = summary["experiments"]["E19"]["configs"]
+    summary["headline"].update(
+        {
+            "e19_decisions_per_sec_1e6": e19["sharded"][
+                "decisions_per_sec"
+            ],
+            # Zero baseline: any decision that sharding changes fails
+            # the gate outright.
+            "e19_sharded_vs_unsharded_mismatches": e19["mismatches"],
+        }
+    )
     e24 = summary["experiments"]["E24"]["configs"]
     summary["headline"].update(
         {

@@ -42,8 +42,8 @@ the stack.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Protocol, Sequence, Union
 
 from ..observability.tracing import TRACE_HEADER
 from ..simnet.events import EventHandle
@@ -64,6 +64,7 @@ from ..saml.xacml_profile import (
 from ..xacml.context import RequestContext
 from .base import Component, ComponentIdentity, RpcFault, RpcTimeout, _parse_fault
 from .pdp import BATCH_QUERY_ACTION, SECURE_BATCH_QUERY_ACTION
+from .placement import PlacementMap, PlacementSpec
 
 #: Metrics sample series fed with per-request submit→completion delays.
 QUEUE_LATENCY_SERIES = "fabric.queue_latency"
@@ -78,8 +79,141 @@ def pep_latency_series(pep_name: str) -> str:
     return f"{QUEUE_LATENCY_SERIES}.{pep_name}"
 
 
-#: Load-balancing policies the dispatcher understands.
-DISPATCH_POLICIES = ("round-robin", "least-outstanding")
+#: Load-balancing policies the dispatcher understands by name.  The
+#: names are a back-compat factory over the :class:`RoutingPolicy`
+#: implementations below; callers may also pass a policy object.
+DISPATCH_POLICIES = (
+    "round-robin",
+    "least-outstanding",
+    "hash-subject",
+    "hash-resource",
+)
+
+
+class RoutingPolicy(Protocol):
+    """How a :class:`DecisionDispatcher` picks among live replicas.
+
+    A policy is pure selection logic over the dispatcher's bookkeeping
+    (replica list, outstanding counters, rotation cursor); the
+    dispatcher keeps owning the counters and the failover loop.
+
+    Attributes:
+        name: stable identifier, also accepted by the string factory.
+    """
+
+    name: str
+
+    def choose(
+        self,
+        dispatcher: "DecisionDispatcher",
+        candidates: Sequence[str],
+        request: Optional[RequestContext] = None,
+    ) -> str:
+        """Pick one of ``candidates`` (non-empty, in ring order)."""
+        ...
+
+
+class RoundRobinRouting:
+    """Rotate through the replica ring regardless of load or key."""
+
+    name = "round-robin"
+
+    def choose(self, dispatcher, candidates, request=None) -> str:
+        return dispatcher._rotate(candidates)
+
+    def __repr__(self) -> str:
+        return "RoundRobinRouting()"
+
+
+class LeastOutstandingRouting:
+    """Prefer the replica with the fewest in-flight envelopes.
+
+    Only differs from round-robin once replies actually take time —
+    i.e. under the PDP service-time model.  Ties rotate, because on the
+    synchronous path outstanding counts are back to zero by the next
+    select and least-outstanding would otherwise pin every request to
+    the first replica.
+    """
+
+    name = "least-outstanding"
+
+    def choose(self, dispatcher, candidates, request=None) -> str:
+        lowest = min(dispatcher.outstanding[r] for r in candidates)
+        ties = [r for r in candidates if dispatcher.outstanding[r] == lowest]
+        return dispatcher._rotate(ties)
+
+    def __repr__(self) -> str:
+        return "LeastOutstandingRouting()"
+
+
+class ConsistentHashRouting:
+    """Route each request to the replica owning its placement key.
+
+    The sharded tier's client half: with a :class:`~repro.components.
+    placement.PlacementSpec` shared with the PDP replicas, decisions for
+    one subject (or resource) always land on the replica that owns that
+    key's attribute partition.  Failover and keyless traffic walk the
+    ring: excluded owners fall through to the key's ring successors, and
+    a selection with no request at all (pure load-balancing calls)
+    degrades to rotation.
+    """
+
+    name = "hash"
+
+    def __init__(self, placement: PlacementSpec) -> None:
+        if not isinstance(placement, PlacementSpec):
+            raise ValueError(
+                f"ConsistentHashRouting needs a PlacementSpec, got "
+                f"{type(placement).__name__}"
+            )
+        self.placement = placement
+        self.name = f"hash-{placement.shard_by}"
+
+    def choose(self, dispatcher, candidates, request=None) -> str:
+        if request is not None:
+            for address in self.placement.preference_for(request):
+                if address in candidates:
+                    return address
+        return dispatcher._rotate(candidates)
+
+    def __repr__(self) -> str:
+        return f"ConsistentHashRouting({self.placement.shard_by})"
+
+
+def make_routing_policy(
+    policy: Union[str, RoutingPolicy],
+    replicas: Sequence[str] = (),
+    placement: Optional[PlacementSpec] = None,
+) -> RoutingPolicy:
+    """Resolve a policy name (or pass a policy object through).
+
+    The hash policies need a placement; when none is supplied one is
+    derived from the replica list, which is correct exactly when the
+    server side shares the same default ring (the
+    :func:`~repro.components.placement.PlacementSpec` constructor
+    defaults).
+    """
+    if not isinstance(policy, str):
+        return policy
+    if policy == "round-robin":
+        return RoundRobinRouting()
+    if policy == "least-outstanding":
+        return LeastOutstandingRouting()
+    if policy in ("hash-subject", "hash-resource"):
+        if placement is None:
+            if not replicas:
+                raise ValueError(
+                    f"routing policy {policy!r} needs replicas or a placement"
+                )
+            placement = PlacementSpec(
+                shard_by=policy.removeprefix("hash-"),
+                ring=PlacementMap(replicas),
+            )
+        return ConsistentHashRouting(placement)
+    raise ValueError(
+        f"unknown dispatch policy {policy!r}; "
+        f"expected one of {DISPATCH_POLICIES}"
+    )
 
 
 class DecisionDispatcher:
@@ -89,23 +223,32 @@ class DecisionDispatcher:
     points: :meth:`dispatch` performs a synchronous RPC with failover
     for the blocking PEP paths, while the coalescing queue drives
     :meth:`select` / :meth:`note_sent` / :meth:`note_done` itself for
-    the event-driven path.  ``least-outstanding`` counts in-flight
-    envelopes per replica, which only differs from round-robin once
-    replies actually take time — i.e. under the PDP service-time model.
+    the event-driven path.  *Which* replica a selection picks is
+    delegated to a :class:`RoutingPolicy` — pass one directly, or a
+    policy name from :data:`DISPATCH_POLICIES` for the back-compat
+    string factory.
+
+    Args:
+        replica_addresses: the PDP replica ring, in order.
+        policy: routing policy object or name.
+        placement: placement spec for the hash policies; ignored by the
+            load-based policies.  When a hash policy name is given
+            without a placement, a default ring over
+            ``replica_addresses`` is derived.
     """
 
     def __init__(
-        self, replica_addresses: Sequence[str], policy: str = "round-robin"
+        self,
+        replica_addresses: Sequence[str],
+        policy: Union[str, RoutingPolicy] = "round-robin",
+        placement: Optional[PlacementSpec] = None,
     ) -> None:
         if not replica_addresses:
             raise ValueError("dispatcher needs at least one PDP replica")
-        if policy not in DISPATCH_POLICIES:
-            raise ValueError(
-                f"unknown dispatch policy {policy!r}; "
-                f"expected one of {DISPATCH_POLICIES}"
-            )
         self.replicas = list(replica_addresses)
-        self.policy = policy
+        self.routing = make_routing_policy(
+            policy, replicas=self.replicas, placement=placement
+        )
         self.outstanding: dict[str, int] = {
             address: 0 for address in self.replicas
         }
@@ -113,25 +256,42 @@ class DecisionDispatcher:
         self.failovers = 0
         self._rr = 0
 
-    def select(self, exclude: Sequence[str] = ()) -> Optional[str]:
-        """Pick the next replica, or None when every candidate is excluded."""
-        candidates = [r for r in self.replicas if r not in exclude]
-        if not candidates:
-            return None
-        if self.policy == "least-outstanding":
-            lowest = min(self.outstanding[r] for r in candidates)
-            candidates = [
-                r for r in candidates if self.outstanding[r] == lowest
-            ]
-        # Rotate through ties (and through everything under round-robin):
-        # on the synchronous path outstanding counts are back to zero by
-        # the next select, so without rotation least-outstanding would
-        # pin every request to the first replica.
+    @property
+    def policy(self) -> str:
+        """The routing policy's name (back-compat string view)."""
+        return self.routing.name
+
+    @property
+    def placement(self) -> Optional[PlacementSpec]:
+        """The placement spec when routing is placement-aware."""
+        return getattr(self.routing, "placement", None)
+
+    def _rotate(self, candidates: Sequence[str]) -> str:
+        """Next candidate under the shared rotation cursor.
+
+        One cursor serves every policy so ties (and round-robin's
+        everything-is-a-tie) rotate through the ring deterministically.
+        """
         while True:  # candidates is a non-empty subset of the ring
             choice = self.replicas[self._rr % len(self.replicas)]
             self._rr += 1
             if choice in candidates:
                 return choice
+
+    def select(
+        self,
+        exclude: Sequence[str] = (),
+        request: Optional[RequestContext] = None,
+    ) -> Optional[str]:
+        """Pick the next replica, or None when every candidate is excluded.
+
+        ``request`` lets key-aware policies route by placement key; the
+        load-based policies ignore it.
+        """
+        candidates = [r for r in self.replicas if r not in exclude]
+        if not candidates:
+            return None
+        return self.routing.choose(self, candidates, request)
 
     def note_sent(self, address: str) -> None:
         self.outstanding[address] += 1
@@ -139,8 +299,58 @@ class DecisionDispatcher:
     def note_done(self, address: str) -> None:
         self.outstanding[address] = max(0, self.outstanding[address] - 1)
 
+    def partition(
+        self, items: Sequence, request_of: Callable[[object], RequestContext]
+    ) -> list[tuple[Optional[str], list]]:
+        """Group ``items`` by owning replica under the placement.
+
+        The shard-aware tiers call this before putting envelopes on the
+        wire so one flush becomes one envelope *per owner* instead of
+        one envelope aimed wherever the load balancer points.  Without a
+        placement everything stays in a single group with no target
+        (``None``), which the senders treat exactly like today's path.
+        Groups preserve first-seen owner order and intra-group item
+        order, so decisions still come back in a deterministic order.
+        """
+        placement = self.placement
+        if placement is None:
+            return [(None, list(items))]
+        groups: dict[str, list] = {}
+        for item in items:
+            owner = placement.owner_of(request_of(item))
+            groups.setdefault(owner, []).append(item)
+        return list(groups.items())
+
+    def selector_for(
+        self, target: Optional[str]
+    ) -> Callable[[Sequence[str]], Optional[str]]:
+        """A select callable pinned to ``target`` with rotation failover.
+
+        Used as the per-envelope ``WireJob.select`` override for a
+        partitioned send: the first attempt goes to the owning replica,
+        a timeout fails over through the ordinary selection (the owner
+        lands in ``exclude``), and ``target=None`` degrades to plain
+        :meth:`select`.
+        """
+
+        def select(exclude: Sequence[str] = ()) -> Optional[str]:
+            if (
+                target is not None
+                and target in self.replicas
+                and target not in exclude
+            ):
+                return target
+            return self.select(exclude=exclude)
+
+        return select
+
     def dispatch(
-        self, caller, action: str, payload, timeout: float
+        self,
+        caller,
+        action: str,
+        payload,
+        timeout: float,
+        request: Optional[RequestContext] = None,
     ) -> tuple[Message, str]:
         """Synchronous RPC through the next replica; failover on timeout.
 
@@ -157,7 +367,7 @@ class DecisionDispatcher:
         tried: list[str] = []
         last_timeout: Optional[RpcTimeout] = None
         while True:
-            address = self.select(exclude=tried)
+            address = self.select(exclude=tried, request=request)
             if address is None:
                 if last_timeout is not None:
                     raise last_timeout
@@ -656,7 +866,26 @@ class CoalescingDecisionQueue:
             # incremented for hand-offs).
             self.gateway.ingest(self, entries)
             return
-        self._wire.send(entries)
+        self._send_partitioned(entries)
+
+    def _send_partitioned(self, entries: list) -> None:
+        """Send one flush, split into one envelope per owning shard.
+
+        With a placement-aware dispatcher each group is pinned to the
+        replica owning its key range (timeouts still fail over through
+        ordinary selection); otherwise the whole flush rides one
+        envelope exactly as before.
+        """
+        if self.dispatcher is None or self.dispatcher.placement is None:
+            self._wire.send(entries)
+            return
+        for target, group in self.dispatcher.partition(
+            entries, lambda entry: entry.request
+        ):
+            job = replace(
+                self._wire.job, select=self.dispatcher.selector_for(target)
+            )
+            self._wire.send(group, job=job)
 
     # -- the wire (BatchWireCore variation points) --------------------------------
 
@@ -1030,7 +1259,28 @@ class DomainDecisionGateway(Component):
         forwarding); the base gateway sends everything to the local
         replica set.
         """
-        return self._wire.send(slots)
+        return self._send_local(slots)
+
+    def _send_local(self, slots: list[_WireSlot]) -> float:
+        """Send slots to the local replica set, shard-partitioned.
+
+        With a placement-aware dispatcher the super-batch is split into
+        one envelope per owning replica; otherwise it travels whole.
+        Returns the summed serialisation time (the pacing figure the
+        drain loop waits on), matching a gateway writing the envelopes
+        to its socket back to back.
+        """
+        if self.dispatcher.placement is None:
+            return self._wire.send(slots)
+        tx_time = 0.0
+        for target, group in self.dispatcher.partition(
+            slots, lambda slot: slot.request
+        ):
+            job = replace(
+                self._wire.job, select=self.dispatcher.selector_for(target)
+            )
+            tx_time += self._wire.send(group, job=job)
+        return tx_time
 
     def _take_super_batch(self) -> list[_WireSlot]:
         """Draw the next super-batch fairly from the per-PEP backlogs.

@@ -578,7 +578,7 @@ class FederatedGateway(DomainDecisionGateway):
         for target in sorted(groups, key=lambda t: (t != self.domain, t)):
             group = groups[target]
             if target == self.domain:
-                tx_time += self._wire.send(group)
+                tx_time += self._send_local(group)
             elif target in self._peers:
                 misses = self._serve_cached_remote(group)
                 if misses:

@@ -44,11 +44,24 @@ from ..xacml.engine import EngineResponse, PdpEngine, PolicyStore
 from .base import Component, ComponentIdentity, RpcFault, RpcTimeout
 from .pap import parse_bundle, parse_revision
 from .pip import parse_pip_response, serialize_pip_query
+from .placement import AttributePartition, AttributeResolver, PlacementSpec
 
 QUERY_ACTION = "xacml.request"
 SECURE_QUERY_ACTION = "xacml.request.secure"
 BATCH_QUERY_ACTION = "xacml.request.batch"
 SECURE_BATCH_QUERY_ACTION = "xacml.request.batch.secure"
+#: Replica→replica reforward of misrouted batch slots.  The handler
+#: evaluates locally and never forwards again (one-hop TTL), so stale
+#: routing views cannot create forwarding loops.
+OWNED_BATCH_QUERY_ACTION = "xacml.request.batch.owned"
+
+#: Sample series fed with per-decision candidate-set sizes (index
+#: selectivity, per replica via the engine's evaluation stats).
+CANDIDATE_SET_SERIES = "pdp.candidate_set_size"
+
+#: Sample series fed with a shard's materialised key count at each
+#: rebalance (per-replica state cardinality, E19).
+SHARD_CARDINALITY_SERIES = "pdp.shard_cardinality"
 
 
 @dataclass
@@ -85,11 +98,32 @@ class PdpConfig:
     #: replica-level scaling (more servers behind a dispatcher)
     #: separately measurable (E17).
     worker_count: int = 1
+    #: Placement contract of a sharded tier (None = unsharded, the
+    #: default).  When set, this replica owns only its hash range of the
+    #: placement ring: its attribute partition materialises owned keys
+    #: lazily, misrouted batch slots are reforwarded to their owner, and
+    #: :meth:`PolicyDecisionPoint.rebalance_placement` implements the
+    #: join/leave story.  Replicas and client-side hash routing must
+    #: share the same spec object (or synchronised copies).
+    placement: Optional[PlacementSpec] = None
+    #: RPC deadline for replica→replica reforwards of misrouted slots.
+    forward_timeout: float = 2.0
 
     def __post_init__(self) -> None:
         if self.worker_count < 1:
             raise ValueError(
                 f"worker_count must be >= 1, got {self.worker_count}"
+            )
+        if self.placement is not None and not isinstance(
+            self.placement, PlacementSpec
+        ):
+            raise ValueError(
+                f"placement must be a PlacementSpec or None, got "
+                f"{type(self.placement).__name__}"
+            )
+        if self.forward_timeout <= 0:
+            raise ValueError(
+                f"forward_timeout must be > 0, got {self.forward_timeout}"
             )
 
 
@@ -105,12 +139,26 @@ class PolicyDecisionPoint(Component):
         pap_address: Optional[str] = None,
         pip_addresses: Optional[list[str]] = None,
         config: Optional[PdpConfig] = None,
+        attribute_resolver: Optional[AttributeResolver] = None,
     ) -> None:
         super().__init__(name, network, domain, identity)
         self.config = config if config is not None else PdpConfig()
         self.engine = PdpEngine(PolicyStore(indexed=self.config.indexed_store))
         self.pap_address = pap_address
         self.pip_addresses = list(pip_addresses or [])
+        #: This replica's owned slice of subject/resource attribute
+        #: state; None on an unsharded replica.  With a placement but no
+        #: resolver the partition is preload-only.
+        self.partition: Optional[AttributePartition] = None
+        #: Authoritative attribute source; also the unsharded fallback
+        #: finder when no placement is configured.
+        self.attribute_resolver = attribute_resolver
+        if self.config.placement is not None:
+            self.partition = AttributePartition(
+                owner=name,
+                spec=self.config.placement,
+                resolver=attribute_resolver,
+            )
         self._policies_fetched_at: Optional[float] = None
         self._cached_revision: Optional[int] = None
         self.decisions_made = 0
@@ -120,11 +168,14 @@ class PolicyDecisionPoint(Component):
         self.rejected_queries = 0
         self.batch_queries_served = 0
         self.batched_decisions = 0
+        self.reforwarded_batches = 0
+        self.owned_batches_served = 0
         self._busy_until = 0.0
         self.on(QUERY_ACTION, self._handle_query)
         self.on(SECURE_QUERY_ACTION, self._handle_secure_query)
         self.on(BATCH_QUERY_ACTION, self._handle_batch_query)
         self.on(SECURE_BATCH_QUERY_ACTION, self._handle_secure_batch_query)
+        self.on(OWNED_BATCH_QUERY_ACTION, self._handle_owned_batch_query)
 
     # -- policy management ------------------------------------------------------
 
@@ -182,8 +233,14 @@ class PolicyDecisionPoint(Component):
     # -- attribute resolution ------------------------------------------------------
 
     def _attribute_finder_for(self, request: RequestContext):
-        if not self.pip_addresses:
+        partition = self.partition
+        resolver = self.attribute_resolver
+        if partition is None and resolver is None and not self.pip_addresses:
             return None
+        shard_category = {
+            "subject": Category.SUBJECT,
+            "resource": Category.RESOURCE,
+        }.get(partition.spec.shard_by) if partition is not None else None
 
         def finder(
             category: Category, attribute_id: str, data_type: DataType
@@ -194,6 +251,22 @@ class PolicyDecisionPoint(Component):
                 about = request.resource_id or ""
             else:
                 about = ""
+            if about:
+                # Sharded: the owned partition answers (faulting state
+                # in from the authoritative resolver on first touch).
+                if partition is not None and category is shard_category:
+                    values = partition.lookup(about, attribute_id, data_type)
+                    if values:
+                        return values
+                elif resolver is not None:
+                    attributes = resolver(about) or {}
+                    values = [
+                        value
+                        for value in attributes.get(attribute_id, [])
+                        if value.data_type is data_type
+                    ]
+                    if values:
+                        return values
             query = serialize_pip_query(category, attribute_id, about, data_type)
             for pip_address in self.pip_addresses:
                 try:
@@ -229,11 +302,18 @@ class PolicyDecisionPoint(Component):
         self.decisions_made += len(requests)
         self.batch_queries_served += 1
         self.batched_decisions += len(requests)
-        return self.engine.evaluate_batch(
+        responses = self.engine.evaluate_batch(
             requests,
             current_time=self.now,
             finder_for=self._attribute_finder_for,
         )
+        metrics = self.network.metrics
+        for engine_response in responses:
+            metrics.record_sample(
+                CANDIDATE_SET_SERIES,
+                engine_response.stats.candidate_set_size,
+            )
+        return responses
 
     # -- service-time model -------------------------------------------------------------
 
@@ -351,27 +431,167 @@ class PolicyDecisionPoint(Component):
             batch_id=batch.batch_id,
         )
 
-    def _answer_batch(
-        self, batch: XacmlAuthzDecisionBatchQuery
-    ) -> XacmlAuthzDecisionBatchStatement:
-        requests = [query.request for query in batch.queries]
-        engine_responses = self.evaluate_batch(requests)
-        statements = tuple(
-            XacmlAuthzDecisionStatement(
-                response=engine_response.response,
-                in_response_to=query.query_id,
-                issuer=self.name,
-                issue_instant=self.now,
-                request_echo=query.request if query.return_context else None,
-            )
-            for query, engine_response in zip(batch.queries, engine_responses)
+    def _statement_for(
+        self, query: XacmlAuthzDecisionQuery, engine_response: EngineResponse
+    ) -> XacmlAuthzDecisionStatement:
+        return XacmlAuthzDecisionStatement(
+            response=engine_response.response,
+            in_response_to=query.query_id,
+            issuer=self.name,
+            issue_instant=self.now,
+            request_echo=query.request if query.return_context else None,
         )
+
+    def _answer_batch(
+        self, batch: XacmlAuthzDecisionBatchQuery, allow_forward: bool = True
+    ) -> XacmlAuthzDecisionBatchStatement:
+        placement = self.config.placement
+        if placement is None or not allow_forward:
+            engine_responses = self.evaluate_batch(
+                [query.request for query in batch.queries]
+            )
+            statements = tuple(
+                self._statement_for(query, engine_response)
+                for query, engine_response in zip(
+                    batch.queries, engine_responses
+                )
+            )
+        else:
+            statements = self._answer_batch_sharded(batch, placement)
         return XacmlAuthzDecisionBatchStatement(
             statements=statements,
             in_response_to=batch.batch_id,
             issuer=self.name,
             issue_instant=self.now,
         )
+
+    def _answer_batch_sharded(
+        self, batch: XacmlAuthzDecisionBatchQuery, placement: PlacementSpec
+    ) -> tuple[XacmlAuthzDecisionStatement, ...]:
+        """Answer a batch on a sharded replica: own, reforward, or fall back.
+
+        Slots whose placement key this replica owns evaluate locally.
+        Misrouted slots — a client routed with a stale ring view, or a
+        failover landed the envelope on a non-owner — are reforwarded to
+        their owning replica in one nested call per owner and the
+        owner's statements are spliced back in query order.  If the
+        owner is unreachable (or replies malformed) the slots are
+        evaluated locally from the authoritative resolver: correctness
+        is preserved, only placement is violated, and the partition does
+        not retain the foreign keys.  All three paths are counted
+        (``placement.misrouted`` / ``placement.reforwarded`` /
+        ``placement.reforward_fallback``).
+        """
+        owned: list[tuple[int, XacmlAuthzDecisionQuery]] = []
+        misrouted: dict[str, list[tuple[int, XacmlAuthzDecisionQuery]]] = {}
+        for index, query in enumerate(batch.queries):
+            owner = placement.owner_of(query.request)
+            if owner == self.name:
+                owned.append((index, query))
+            else:
+                misrouted.setdefault(owner, []).append((index, query))
+        statements: list[Optional[XacmlAuthzDecisionStatement]] = [
+            None
+        ] * len(batch.queries)
+        if owned:
+            engine_responses = self.evaluate_batch(
+                [query.request for _, query in owned]
+            )
+            for (index, query), engine_response in zip(owned, engine_responses):
+                statements[index] = self._statement_for(query, engine_response)
+        metrics = self.network.metrics
+        for owner, group in misrouted.items():
+            metrics.bump("placement.misrouted", len(group))
+            sub_batch = XacmlAuthzDecisionBatchQuery(
+                queries=tuple(query for _, query in group),
+                issuer=self.name,
+                issue_instant=self.now,
+            )
+            answers = None
+            try:
+                reply = self.call(
+                    owner,
+                    OWNED_BATCH_QUERY_ACTION,
+                    sub_batch.to_xml(),
+                    timeout=self.config.forward_timeout,
+                )
+                answer = XacmlAuthzDecisionBatchStatement.from_xml(
+                    str(reply.payload)
+                )
+                if len(answer.statements) == len(group):
+                    answers = answer.statements
+            except (RpcTimeout, RpcFault):
+                answers = None
+            if answers is not None:
+                self.reforwarded_batches += 1
+                metrics.bump("placement.reforwarded", len(group))
+                for (index, _), statement in zip(group, answers):
+                    statements[index] = statement
+                continue
+            metrics.bump("placement.reforward_fallback", len(group))
+            engine_responses = self.evaluate_batch(
+                [query.request for _, query in group]
+            )
+            for (index, query), engine_response in zip(group, engine_responses):
+                statements[index] = self._statement_for(query, engine_response)
+        return tuple(statements)
+
+    def _handle_owned_batch_query(self, message: Message):
+        """Answer a peer replica's reforward of slots this replica owns.
+
+        Never forwards again even if the local view disagrees (one-hop
+        TTL — two replicas with divergent rings must not bounce a slot
+        forever); evaluating locally is always correct because the
+        attribute resolver is authoritative.
+        """
+        batch = XacmlAuthzDecisionBatchQuery.from_xml(str(message.payload))
+        self.owned_batches_served += 1
+        reply = self._answer_batch(batch, allow_forward=False)
+        return self._reply_after_service(
+            message,
+            reply.to_xml(),
+            decisions=len(batch.queries),
+            batch_id=batch.batch_id,
+        )
+
+    # -- placement lifecycle ------------------------------------------------------------
+
+    def rebalance_placement(self) -> int:
+        """Realign this replica's partition with the (changed) ring.
+
+        Called on every replica after :meth:`~repro.components.
+        placement.PlacementMap.add_replica` / ``remove_replica`` on the
+        authoritative ring.  Evicts entries whose key range moved away
+        (the new owner repopulates them on demand from the shared
+        resolver) and returns how many moved; the tier-wide sum is the
+        rebalance cost counted as ``placement.moved_keys``.
+        """
+        if self.partition is None:
+            return 0
+        moved = self.partition.rebalance()
+        metrics = self.network.metrics
+        metrics.bump("placement.moved_keys", moved)
+        metrics.record_sample(
+            SHARD_CARDINALITY_SERIES, self.partition.cardinality
+        )
+        return moved
+
+    def shard_stats(self) -> dict:
+        """Per-replica state figures E19 reports (cardinality and skew)."""
+        stats: dict = {
+            "replica": self.name,
+            "store": self.engine.store.shard_stats(),
+        }
+        if self.partition is not None:
+            partition = self.partition.stats
+            stats.update(
+                cardinality=self.partition.cardinality,
+                faults=partition.faults,
+                hits=partition.hits,
+                unowned_lookups=partition.unowned_lookups,
+                evicted=partition.evicted,
+            )
+        return stats
 
     def _verify_secure_query(self, message: Message):
         """Shared front half of the secure endpoints: verify, or fault."""

@@ -45,6 +45,22 @@ COUNTERS: dict[str, tuple[str, str]] = {
         "components.federation",
         "inbound forward refused: origin domain not on the allow list",
     ),
+    "placement.misrouted": (
+        "components.pdp",
+        "batch slot that arrived at a replica not owning its key",
+    ),
+    "placement.reforwarded": (
+        "components.pdp",
+        "misrouted slot answered by its owner via replica reforward",
+    ),
+    "placement.reforward_fallback": (
+        "components.pdp",
+        "misrouted slot evaluated locally: owning replica unreachable",
+    ),
+    "placement.moved_keys": (
+        "components.pdp",
+        "partition entries evicted by a ring rebalance (join/leave)",
+    ),
 }
 
 #: Every statically named ``record_sample()`` series.
@@ -56,6 +72,14 @@ SERIES: dict[str, tuple[str, str]] = {
     "fabric.super_batch_size": (
         "components.fabric",
         "slots per gateway super-batch at dispatch",
+    ),
+    "pdp.candidate_set_size": (
+        "components.pdp",
+        "policy candidates per decision (target-index selectivity)",
+    ),
+    "pdp.shard_cardinality": (
+        "components.pdp",
+        "materialised partition keys per replica at each rebalance",
     ),
 }
 

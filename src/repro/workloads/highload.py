@@ -9,14 +9,15 @@ completes.  Offered load is then set by the population size
 actual capacity at that load, with queueing delay showing up as
 submit→completion latency (experiment E16's three reported axes).
 
-:func:`run_closed_loop` drives one PEP; :func:`run_closed_loop_multi`
-drives a whole domain of them against shared infrastructure — the
-many-PEP topology the :class:`~repro.components.fabric.
-DomainDecisionGateway` aggregates (experiment E17), with per-PEP
-completion/latency breakdowns so fairness across the domain's PEPs is
-measurable, not just the aggregate.
+:func:`drive_closed_loop` is the one driver every closed-loop shape
+runs on: one PEP, a whole domain of them, or several domains' fleets
+grouped for per-domain reporting (experiments E16/E17/E18/E19).  The
+historic entry points — :func:`run_closed_loop`,
+:func:`run_closed_loop_multi` and :func:`~repro.workloads.multidomain.
+run_closed_loop_federated` — survive as thin deprecated wrappers with
+their original signatures and return shapes.
 
-Both drivers are fully event-driven on top of
+The driver is fully event-driven on top of
 :meth:`~repro.components.pep.PolicyEnforcementPoint.submit` (the
 coalescing queue), so a single ``network.run`` carries the whole run
 without growing the Python stack.
@@ -24,8 +25,9 @@ without growing the Python stack.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..components.fabric import QUEUE_LATENCY_SERIES, pep_latency_series
 from ..simnet.metrics import LatencyStats
@@ -62,30 +64,6 @@ class ClosedLoopStats:
     queue_latency: LatencyStats
 
 
-def run_closed_loop(
-    pep,
-    requests: Sequence[RequestContext],
-    concurrency: int,
-    horizon: float = 300.0,
-) -> ClosedLoopStats:
-    """Drive ``requests`` through ``pep`` with a fixed outstanding window.
-
-    The single-PEP view of :func:`run_closed_loop_multi` — one driver,
-    one implementation.
-
-    Args:
-        pep: a PEP with batching enabled (:meth:`enable_batching`).
-        requests: the request sequence, submitted in order.
-        concurrency: how many requests are kept outstanding — the closed
-            loop's offered load.
-        horizon: simulated-seconds safety stop; a healthy run finishes
-            long before this.
-    """
-    return run_closed_loop_multi(
-        [pep], [requests], concurrency, horizon=horizon
-    ).fleet
-
-
 @dataclass(frozen=True)
 class PepLoadStats:
     """One PEP's share of a multi-PEP closed-loop run."""
@@ -113,19 +91,58 @@ class MultiPepStats:
     per_pep: tuple[PepLoadStats, ...]
 
 
-def run_closed_loop_multi(
+@dataclass(frozen=True)
+class GroupLoadStats:
+    """One PEP group's share of a closed-loop run (e.g. one domain)."""
+
+    name: str
+    submitted: int
+    completed: int
+    granted: int
+    denied: int
+    #: Worst per-PEP p95 submit→completion delay inside this group.
+    worst_pep_p95: float
+    per_pep: tuple[PepLoadStats, ...]
+
+
+@dataclass(frozen=True)
+class ClosedLoopRun:
+    """Everything :func:`drive_closed_loop` measured.
+
+    ``fleet`` pools every PEP; ``per_pep`` breaks the run down per PEP;
+    ``per_group`` (only when the driver was given group labels)
+    regroups the per-PEP shares — the per-domain view of the federated
+    wrapper.
+    """
+
+    fleet: ClosedLoopStats
+    per_pep: tuple[PepLoadStats, ...]
+    per_group: tuple[GroupLoadStats, ...] = ()
+
+    def group(self, name: str) -> GroupLoadStats:
+        for stats in self.per_group:
+            if stats.name == name:
+                return stats
+        raise KeyError(f"no group {name!r} in this run")
+
+
+def drive_closed_loop(
     peps: Sequence,
     requests_by_pep: Sequence[Sequence[RequestContext]],
     concurrency,
     horizon: float = 300.0,
     observer=None,
-) -> MultiPepStats:
-    """Drive one request sequence per PEP, all sharing one network.
+    groups: Optional[Sequence[str]] = None,
+) -> ClosedLoopRun:
+    """THE closed-loop driver: one request sequence per PEP, one network.
 
+    Every closed-loop shape parameterises this one implementation — a
+    single PEP, a domain of PEPs behind one gateway, or several
+    domains' fleets (label each PEP with its domain via ``groups``).
     Every PEP keeps its concurrency window of requests outstanding (the
-    domain's offered load is the sum of the windows), all windows refill
+    offered load is the sum of the windows), all windows refill
     event-driven off their own completions, and a single ``network.run``
-    carries the whole domain to quiescence.
+    carries the whole run to quiescence.
 
     Args:
         peps: PEPs with batching enabled — sharing a
@@ -134,13 +151,16 @@ def run_closed_loop_multi(
         requests_by_pep: one request sequence per PEP, same length as
             ``peps``; sequences may differ in length.
         concurrency: outstanding-request window *per PEP* — one int for
-            a uniform domain, or one int per PEP (how E17's fairness
+            a uniform fleet, or one int per PEP (how E17's fairness
             experiment makes one PEP chatty).
         horizon: simulated-seconds safety stop.
         observer: optional ``observer(pep, request, result)`` callback
             invoked on every completion at its simulated completion
             time — how staleness experiments timestamp per-subject
             outcomes without threading state through the driver.
+        groups: optional group label per PEP (same length as ``peps``);
+            fills ``per_group`` with one summary per distinct label, in
+            first-appearance order.
     """
     if len(peps) != len(requests_by_pep):
         raise ValueError(
@@ -158,6 +178,10 @@ def run_closed_loop_multi(
             )
     if any(window < 1 for window in windows):
         raise ValueError(f"concurrency must be >= 1, got {windows}")
+    if groups is not None and len(groups) != len(peps):
+        raise ValueError(
+            f"{len(peps)} PEPs but {len(groups)} group labels"
+        )
     network = peps[0].network
     metrics = network.metrics
     started_at = network.now
@@ -257,4 +281,85 @@ def run_closed_loop_multi(
             QUEUE_LATENCY_SERIES, fleet_samples_before
         ),
     )
-    return MultiPepStats(fleet=fleet, per_pep=per_pep)
+    per_group: tuple[GroupLoadStats, ...] = ()
+    if groups is not None:
+        labels = list(dict.fromkeys(groups))  # first-appearance order
+        per_group = tuple(
+            _group_stats(
+                label,
+                tuple(
+                    stats
+                    for stats, owner in zip(per_pep, groups)
+                    if owner == label
+                ),
+            )
+            for label in labels
+        )
+    return ClosedLoopRun(fleet=fleet, per_pep=per_pep, per_group=per_group)
+
+
+def _group_stats(
+    name: str, shares: tuple[PepLoadStats, ...]
+) -> GroupLoadStats:
+    return GroupLoadStats(
+        name=name,
+        submitted=sum(share.submitted for share in shares),
+        completed=sum(share.completed for share in shares),
+        granted=sum(share.granted for share in shares),
+        denied=sum(share.denied for share in shares),
+        worst_pep_p95=max(
+            (share.queue_latency.p95 for share in shares), default=0.0
+        ),
+        per_pep=shares,
+    )
+
+
+# -- deprecated wrappers (historic call sites and return shapes) ----------------------
+
+
+def run_closed_loop(
+    pep,
+    requests: Sequence[RequestContext],
+    concurrency: int,
+    horizon: float = 300.0,
+) -> ClosedLoopStats:
+    """Deprecated: :func:`drive_closed_loop` with a one-PEP fleet.
+
+    Kept for historic call sites; returns the fleet summary exactly as
+    it always did.
+    """
+    warnings.warn(
+        "run_closed_loop is deprecated; use drive_closed_loop",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return drive_closed_loop(
+        [pep], [requests], concurrency, horizon=horizon
+    ).fleet
+
+
+def run_closed_loop_multi(
+    peps: Sequence,
+    requests_by_pep: Sequence[Sequence[RequestContext]],
+    concurrency,
+    horizon: float = 300.0,
+    observer=None,
+) -> MultiPepStats:
+    """Deprecated: :func:`drive_closed_loop` without grouping.
+
+    Kept for historic call sites; returns the same
+    :class:`MultiPepStats` shape as always.
+    """
+    warnings.warn(
+        "run_closed_loop_multi is deprecated; use drive_closed_loop",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    run = drive_closed_loop(
+        peps,
+        requests_by_pep,
+        concurrency,
+        horizon=horizon,
+        observer=observer,
+    )
+    return MultiPepStats(fleet=run.fleet, per_pep=run.per_pep)

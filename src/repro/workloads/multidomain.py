@@ -10,20 +10,22 @@ baseline, go per-PEP straight at the remote PDP tier).
 
 :func:`multi_domain_request_mix` builds one PEP's stream over the
 VO-wide resource population with a given remote fraction;
-:func:`run_closed_loop_federated` drives every domain's PEPs through
-:func:`~repro.workloads.highload.run_closed_loop_multi` (one driver,
-one implementation) and regroups the per-PEP results into per-domain
-summaries.
+:func:`run_closed_loop_federated` is a deprecated wrapper that drives
+every domain's PEPs through :func:`~repro.workloads.highload.
+drive_closed_loop` (one driver, one implementation) with the domain
+names as group labels and re-dresses the per-group results in the
+historic per-domain shape.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..xacml.context import RequestContext
-from .highload import ClosedLoopStats, PepLoadStats, run_closed_loop_multi
+from .highload import ClosedLoopStats, PepLoadStats, drive_closed_loop
 
 
 def federated_resource_id(domain_name: str, index: int) -> str:
@@ -188,7 +190,11 @@ def run_closed_loop_federated(
     horizon: float = 300.0,
     observer=None,
 ) -> FederatedLoadStats:
-    """Drive every domain's PEP fleet concurrently on one network.
+    """Deprecated: :func:`~repro.workloads.highload.drive_closed_loop`
+    with the domain names as group labels.
+
+    Kept for historic call sites; returns the same
+    :class:`FederatedLoadStats` shape as always.
 
     Args:
         peps_by_domain: domain name → that domain's PEPs (batching
@@ -199,9 +205,15 @@ def run_closed_loop_federated(
         concurrency: outstanding-request window per PEP.
         horizon: simulated-seconds safety stop.
         observer: optional per-completion ``observer(pep, request,
-            result)`` callback, passed through to the multi-PEP driver
+            result)`` callback, passed through to the shared driver
             (staleness accounting for the E18 cache grid).
     """
+    warnings.warn(
+        "run_closed_loop_federated is deprecated; use "
+        "repro.workloads.highload.drive_closed_loop with groups=",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if set(peps_by_domain) != set(requests_by_domain):
         raise ValueError(
             f"domains differ: {sorted(peps_by_domain)} vs "
@@ -220,28 +232,24 @@ def run_closed_loop_federated(
         peps.extend(domain_peps)
         requests.extend(domain_requests)
         owners.extend([domain_name] * len(domain_peps))
-    multi = run_closed_loop_multi(
-        peps, requests, concurrency, horizon=horizon, observer=observer
+    run = drive_closed_loop(
+        peps,
+        requests,
+        concurrency,
+        horizon=horizon,
+        observer=observer,
+        groups=owners,
     )
-    per_domain = []
-    for domain_name in domain_names:
-        shares = tuple(
-            stats
-            for stats, owner in zip(multi.per_pep, owners)
-            if owner == domain_name
+    per_domain = tuple(
+        DomainLoadStats(
+            name=group.name,
+            submitted=group.submitted,
+            completed=group.completed,
+            granted=group.granted,
+            denied=group.denied,
+            worst_pep_p95=group.worst_pep_p95,
+            per_pep=group.per_pep,
         )
-        per_domain.append(
-            DomainLoadStats(
-                name=domain_name,
-                submitted=sum(share.submitted for share in shares),
-                completed=sum(share.completed for share in shares),
-                granted=sum(share.granted for share in shares),
-                denied=sum(share.denied for share in shares),
-                worst_pep_p95=max(
-                    (share.queue_latency.p95 for share in shares),
-                    default=0.0,
-                ),
-                per_pep=shares,
-            )
-        )
-    return FederatedLoadStats(fleet=multi.fleet, per_domain=tuple(per_domain))
+        for group in run.per_group
+    )
+    return FederatedLoadStats(fleet=run.fleet, per_domain=per_domain)

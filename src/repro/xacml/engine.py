@@ -32,6 +32,9 @@ class EvaluationStats:
     policies_considered: int = 0
     policies_skipped_by_index: int = 0
     finder_calls: int = 0
+    #: Size of the candidate set the store produced for this request —
+    #: the index-selectivity figure E19 reports per shard.
+    candidate_set_size: int = 0
 
 
 class PolicyStore:
@@ -101,11 +104,18 @@ class PolicyStore:
                 identifier
             )
 
+    @property
+    def element_count(self) -> int:
+        """Top-level elements held — the per-shard state figure of E19."""
+        return len(self._elements)
+
     def candidates(
         self, request: RequestContext, stats: Optional[EvaluationStats] = None
     ) -> list[PolicyElement]:
         """Elements worth evaluating for this request, in insertion order."""
         if not self.indexed:
+            if stats is not None:
+                stats.candidate_set_size = len(self._elements)
             return self.elements()
         wanted: set[str] = set(self._unindexable)
         lookups = (
@@ -119,11 +129,41 @@ class PolicyStore:
             wanted |= self._index.get((category, attribute_id, value), set())
         if stats is not None:
             stats.policies_skipped_by_index += len(self._elements) - len(wanted)
+            stats.candidate_set_size = len(wanted)
         return [
             element
             for identifier, element in self._elements.items()
             if identifier in wanted
         ]
+
+    def partition_for(self, owns: Callable[[str], bool]) -> "PolicyStore":
+        """Derive one shard's store under a resource placement.
+
+        The shard keeps every element whose target provably applies only
+        to resources (:meth:`~repro.xacml.targets.Target.
+        constraining_values` on ``resource-id``) at least one of which
+        ``owns`` — plus every element with *no* sound resource
+        constraint, which must replicate to all shards because dropping
+        it anywhere could change decisions.  The union of all shards'
+        decisions therefore equals the unsharded store's on any request
+        routed by resource key.
+        """
+        shard = PolicyStore(indexed=self.indexed)
+        for element in self._elements.values():
+            values = element.target.constraining_values(
+                Category.RESOURCE, RESOURCE_ID
+            )
+            if values is None or any(owns(value) for value in values):
+                shard.add(element)
+        return shard
+
+    def shard_stats(self) -> dict[str, int]:
+        """Element-count breakdown for per-shard state-skew reporting."""
+        return {
+            "elements": len(self._elements),
+            "unindexable": len(self._unindexable),
+            "index_keys": len(self._index),
+        }
 
 
 @dataclass
@@ -224,6 +264,7 @@ class PdpEngine:
                     stats.policies_skipped_by_index = len(self.store) - len(
                         candidates
                     )
+                stats.candidate_set_size = len(candidates)
             finder = (
                 finder_for(request)
                 if finder_for is not None

@@ -140,6 +140,44 @@ class Target:
                     keys.setdefault(key, set()).add(match.value.lexical())
         return keys
 
+    def constraining_values(
+        self, category: Category, attribute_id: str
+    ) -> "set[str] | None":
+        """Values the designated attribute *must* take for a match.
+
+        Returns a set ``V`` such that the target can only match requests
+        whose ``(category, attribute_id)`` value is in ``V``, or None
+        when the target does not constrain that attribute.  This is the
+        sound criterion store partitioning needs —
+        :meth:`literal_equality_keys` is *not* enough, because it
+        collects equality matches from any branch: a target like
+        ``AnyOf[AllOf(resource=r1), AllOf(subject=s1)]`` mentions ``r1``
+        yet matches any resource via the subject branch.
+
+        The target is a conjunction of AnyOf groups, so it is enough for
+        *one* AnyOf to be fully constrained: every AllOf alternative in
+        that group carries an equality match on the attribute, making
+        the union of those literals a superset of the matchable values.
+        """
+        for any_of in self.any_ofs:
+            values: set[str] = set()
+            fully_constrained = bool(any_of.all_ofs)
+            for all_of in any_of.all_ofs:
+                found = {
+                    match.value.lexical()
+                    for match in all_of.matches
+                    if match.match_function.endswith("-equal")
+                    and match.designator.category is category
+                    and match.designator.attribute_id == attribute_id
+                }
+                if not found:
+                    fully_constrained = False
+                    break
+                values |= found
+            if fully_constrained:
+                return values
+        return None
+
 
 ANY_TARGET = Target()
 

@@ -17,6 +17,10 @@ from repro.components.fabric import (
     SUPER_BATCH_SERIES,
     pep_latency_series,
 )
+from repro.components.pdp import (
+    CANDIDATE_SET_SERIES,
+    SHARD_CARDINALITY_SERIES,
+)
 from repro.observability.catalog import (
     COUNTERS,
     SERIES,
@@ -87,11 +91,18 @@ class TestSeriesCatalog:
         pin them to the catalog explicitly."""
         assert QUEUE_LATENCY_SERIES in SERIES
         assert SUPER_BATCH_SERIES in SERIES
+        assert CANDIDATE_SET_SERIES in SERIES
+        assert SHARD_CARDINALITY_SERIES in SERIES
         assert is_cataloged_series(pep_latency_series("pep-0"))
 
     def test_every_cataloged_series_has_a_live_source(self):
         recorded = set(scan(SAMPLE_LITERAL))
-        constants = {QUEUE_LATENCY_SERIES, SUPER_BATCH_SERIES}
+        constants = {
+            QUEUE_LATENCY_SERIES,
+            SUPER_BATCH_SERIES,
+            CANDIDATE_SET_SERIES,
+            SHARD_CARDINALITY_SERIES,
+        }
         stale = sorted(set(SERIES) - recorded - constants)
         assert not stale, (
             f"cataloged series with no live call site or constant: {stale}"

@@ -1,0 +1,250 @@
+"""Property tests: sharded routing never changes a decision.
+
+E19's placement layer rests on the same kind of guarantee as batching:
+splitting the decision tier's state across a consistent-hash ring must
+be *invisible* in decisions.  Two properties, both including mid-stream
+replica join/leave:
+
+* **resource-sharded stores** — routing each request to the ring owner
+  of its resource and evaluating against that replica's
+  :meth:`~repro.xacml.engine.PolicyStore.partition_for` slice returns
+  exactly what the unsharded store returns;
+* **subject-sharded attributes** — evaluating with each replica's
+  :class:`~repro.components.placement.AttributePartition` (lazy
+  fault-in from a shared authoritative resolver) returns exactly what
+  a direct-resolver engine returns, and replicas only ever retain keys
+  they own.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.components.placement import (
+    AttributePartition,
+    PlacementMap,
+    PlacementSpec,
+)
+from repro.xacml import (
+    PdpEngine,
+    Policy,
+    PolicyStore,
+    RequestContext,
+    combining,
+    deny_rule,
+    permit_rule,
+    subject_resource_action_target,
+)
+from repro.xacml.attributes import Category, SUBJECT_ROLE, string
+from repro.xacml.expressions import attribute_equals
+
+SUBJECTS = [f"subj-{index}" for index in range(12)]
+RESOURCES = [f"res-{index}" for index in range(12)]
+ACTIONS = ["read", "write", "delete"]
+ROLES = ["engineer", "analyst", "contractor"]
+REPLICA_POOL = [f"pdp-{index}" for index in range(5)]
+
+subjects = st.sampled_from(SUBJECTS)
+resources = st.sampled_from(RESOURCES)
+actions = st.sampled_from(ACTIONS)
+
+#: A request interleaved with optional ring churn before it.
+events = st.lists(
+    st.tuples(
+        st.sampled_from(["none", "join", "leave"]),
+        st.builds(RequestContext.simple, subjects, resources, actions),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def role_of(subject_id: str) -> str:
+    # Deterministic, process-independent subject → role assignment.
+    return ROLES[sum(map(ord, subject_id)) % len(ROLES)]
+
+
+def resolver(key: str):
+    return {SUBJECT_ROLE: [string(role_of(key))]}
+
+
+def direct_finder(request):
+    def finder(category, attribute_id, data_type):
+        if category is not Category.SUBJECT or not request.subject_id:
+            return []
+        return [
+            value
+            for value in resolver(request.subject_id).get(attribute_id, [])
+            if value.data_type is data_type
+        ]
+
+    return finder
+
+
+def partition_finder(partition, request):
+    def finder(category, attribute_id, data_type):
+        if category is not Category.SUBJECT or not request.subject_id:
+            return []
+        return partition.lookup(request.subject_id, attribute_id, data_type)
+
+    return finder
+
+
+@st.composite
+def mixed_policies(draw):
+    """Policies with and without sound resource constraints, some
+    conditioned on the subject's resolved role attribute."""
+    policies = []
+    for index in range(draw(st.integers(min_value=1, max_value=6))):
+        target = subject_resource_action_target(
+            draw(st.one_of(st.none(), subjects)),
+            draw(st.one_of(st.none(), resources)),
+            draw(st.one_of(st.none(), actions)),
+        )
+        condition = None
+        if draw(st.booleans()):
+            condition = attribute_equals(
+                Category.SUBJECT, SUBJECT_ROLE, string(draw(st.sampled_from(ROLES)))
+            )
+        builder = permit_rule if draw(st.booleans()) else deny_rule
+        policies.append(
+            Policy(
+                policy_id=f"gen-{index}",
+                target=target,
+                rules=(builder(f"rule-{index}", condition=condition),),
+                rule_combining=draw(
+                    st.sampled_from(
+                        [
+                            combining.RULE_DENY_OVERRIDES,
+                            combining.RULE_PERMIT_OVERRIDES,
+                            combining.RULE_FIRST_APPLICABLE,
+                        ]
+                    )
+                ),
+            )
+        )
+    return policies
+
+
+def churn(ring: PlacementMap, op: str) -> bool:
+    """Apply one ring op; returns whether the ring changed."""
+    if op == "join":
+        joined = next(
+            (name for name in REPLICA_POOL if name not in ring), None
+        )
+        if joined is None:
+            return False
+        ring.add_replica(joined)
+        return True
+    if op == "leave" and len(ring) > 1:
+        ring.remove_replica(ring.replicas[-1])
+        return True
+    return False
+
+
+def assert_same_decision(sharded, unsharded, context: str) -> None:
+    assert sharded.decision is unsharded.decision, context
+    assert (
+        sharded.response.result.obligations
+        == unsharded.response.result.obligations
+    ), context
+    assert (
+        sharded.response.result.status == unsharded.response.result.status
+    ), context
+
+
+class TestResourceShardedStores:
+    @given(mixed_policies(), events, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_partitioned_stores_agree_with_full_store(
+        self, policies, events, indexed
+    ):
+        full = PolicyStore(indexed=indexed)
+        for policy in policies:
+            full.add(policy)
+        reference = PdpEngine(full)
+        ring = PlacementMap(REPLICA_POOL[:2])
+
+        def shards():
+            return {
+                name: PdpEngine(
+                    full.partition_for(
+                        lambda key, name=name: ring.owner(key) == name
+                    )
+                )
+                for name in ring.replicas
+            }
+
+        replicas = shards()
+        for op, request in events:
+            if churn(ring, op):
+                # A rebalance re-derives every replica's store slice.
+                replicas = shards()
+            owner = ring.owner(request.resource_id or "")
+            finder = direct_finder(request)
+            replicas[owner].attribute_finder = finder
+            reference.attribute_finder = finder
+            assert_same_decision(
+                replicas[owner].evaluate(request),
+                reference.evaluate(request),
+                f"{request.resource_id} on {owner} (epoch {ring.epoch})",
+            )
+
+    @given(mixed_policies(), st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_shards_never_hold_more_than_the_full_store(
+        self, policies, indexed
+    ):
+        full = PolicyStore(indexed=indexed)
+        for policy in policies:
+            full.add(policy)
+        ring = PlacementMap(REPLICA_POOL[:3])
+        for name in ring.replicas:
+            shard = full.partition_for(
+                lambda key, name=name: ring.owner(key) == name
+            )
+            assert shard.element_count <= full.element_count
+
+
+class TestSubjectShardedAttributes:
+    @given(mixed_policies(), events, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_partitioned_attributes_agree_with_direct_resolver(
+        self, policies, events, indexed
+    ):
+        store = PolicyStore(indexed=indexed)
+        for policy in policies:
+            store.add(policy)
+        reference = PdpEngine(store)
+        ring = PlacementMap(REPLICA_POOL[:2])
+        spec = PlacementSpec("subject", ring)
+        partitions = {
+            name: AttributePartition(name, spec, resolver)
+            for name in ring.replicas
+        }
+        replicas = {name: PdpEngine(store) for name in ring.replicas}
+        for op, request in events:
+            if churn(ring, op):
+                for name in ring.replicas:
+                    if name not in partitions:
+                        partitions[name] = AttributePartition(
+                            name, spec, resolver
+                        )
+                        replicas[name] = PdpEngine(store)
+                for name in list(partitions):
+                    if name not in ring:
+                        del partitions[name], replicas[name]
+                    else:
+                        partitions[name].rebalance()
+            owner = ring.owner(request.subject_id or "")
+            replicas[owner].attribute_finder = partition_finder(
+                partitions[owner], request
+            )
+            reference.attribute_finder = direct_finder(request)
+            assert_same_decision(
+                replicas[owner].evaluate(request),
+                reference.evaluate(request),
+                f"{request.subject_id} on {owner} (epoch {ring.epoch})",
+            )
+        # Placement invariant: after any churn history, a replica only
+        # retains keys it currently owns.
+        for name, partition in partitions.items():
+            assert all(partition.owns(key) for key in partition.keys())
