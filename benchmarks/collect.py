@@ -15,7 +15,10 @@ so every PR records where the headline experiments stand:
   (misroutes re-forwarded, grant parity);
 * **E19** — sharded PDP placement at 10^6 subjects: decisions/s,
   per-replica state cardinality, sharded-vs-unsharded decision
-  mismatches (pinned 0).
+  mismatches (pinned 0);
+* **E25** — static policy analysis: planted defects recovered exactly,
+  adversarial witness replay (false positives pinned 0), clean-corpus
+  scan (findings pinned 0).
 
 Runs everything in smoke dimensions (the module forces
 ``REPRO_BENCH_SMOKE=1`` before importing the benchmark modules, whose
@@ -338,6 +341,60 @@ def collect_e19() -> dict:
     }
 
 
+def collect_e25() -> dict:
+    """Static policy analysis: exact recovery, zero false positives.
+
+    Everything here is a deterministic count, so every headline is a
+    zero-baseline pin: a missed planted defect, an unexpected finding
+    on a clean corpus, or a witness that fails its adversarial replay
+    each fails the gate outright.
+    """
+    import test_e25_policy_analysis as e25
+    from repro.xacml.analysis import analyze
+
+    gt_store, gt_expected = e25.ground_truth_store()
+    gt_reported = {
+        (f.kind, f.location)
+        for f in analyze(gt_store, include_validation=False).findings
+    }
+    inj_store, inj_expected = e25.injected_corpus_store()
+    inj_reported = {
+        (f.kind, f.location)
+        for f in analyze(inj_store, include_validation=False).findings
+    }
+    checked, false_positives = e25.count_false_positive_witnesses(
+        e25.differential_shapes()
+    )
+    clean_tier = e25.POLICY_TIERS[0]
+    clean_report, clean_wall = e25.run_scaling_tier(clean_tier)
+    return {
+        "description": "static analyzer: planted-defect recovery, "
+        "adversarial witness replay and clean-corpus scan",
+        "configs": {
+            "ground_truth": {
+                "expected": len(gt_expected),
+                "missed": len(gt_expected - gt_reported),
+                "unexpected": len(gt_reported - gt_expected),
+            },
+            "injected_corpus": {
+                "expected": len(inj_expected),
+                "missed": len(inj_expected - inj_reported),
+                "unexpected": len(inj_reported - inj_expected),
+            },
+            "differential": {
+                "witnessed_findings": checked,
+                "false_positive_witnesses": false_positives,
+            },
+            "clean_corpus": {
+                "policies": clean_tier,
+                "findings": len(clean_report.findings),
+                "pairs_considered": clean_report.stats.pairs_considered,
+                "wall_s": round(clean_wall, 3),
+            },
+        },
+    }
+
+
 def collect() -> dict:
     summary = {
         "schema": 2,
@@ -352,6 +409,7 @@ def collect() -> dict:
             "E18d": collect_e18_directory(),
             "E19": collect_e19(),
             "E24": collect_e24(),
+            "E25": collect_e25(),
         },
     }
     e16 = summary["experiments"]["E16"]["configs"]
@@ -404,6 +462,21 @@ def collect() -> dict:
                 "decisions_per_sec"
             ],
             "tracing_e2e_ms": e24["decomposition"]["e2e_ms"],
+        }
+    )
+    e25 = summary["experiments"]["E25"]["configs"]
+    summary["headline"].update(
+        {
+            # All zero baselines: any missed planted defect, unexpected
+            # finding or lying witness fails the gate outright.
+            "e25_false_positive_witnesses": e25["differential"][
+                "false_positive_witnesses"
+            ],
+            "e25_ground_truth_missed": e25["ground_truth"]["missed"]
+            + e25["injected_corpus"]["missed"],
+            "e25_unexpected_findings": e25["ground_truth"]["unexpected"]
+            + e25["injected_corpus"]["unexpected"]
+            + e25["clean_corpus"]["findings"],
         }
     )
     return summary

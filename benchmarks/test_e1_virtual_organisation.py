@@ -111,7 +111,9 @@ def test_e1_vo_authorisation(benchmark):
     for domain in workload.vo.domains.values():
         domain.pdp.invalidate_policy_cache()
     after = drive(workload, events)
-    for (event, before_result), (_, after_result) in zip(outcomes, after):
+    for (event, before_result), (_, after_result) in zip(
+        outcomes, after, strict=True
+    ):
         if event.resource_id == victim_resource:
             assert not after_result.granted
         elif event.resource_domain != "domain-0":

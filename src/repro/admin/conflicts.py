@@ -18,6 +18,7 @@ the wall/SoD cases that only the runtime meta-policy engine catches.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Protocol, Union
 
@@ -224,10 +225,8 @@ class ChineseWallMetaPolicy:
     def record_grant(self, request: RequestContext, at: float) -> None:
         subject = request.subject_id or ""
         resource = request.resource_id or ""
-        try:
+        with contextlib.suppress(Exception):
             self.engine.record_access(subject, resource, at)
-        except Exception:
-            pass
 
 
 class MetaPolicyEngine:

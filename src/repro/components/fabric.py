@@ -910,7 +910,7 @@ class CoalescingDecisionQueue:
         self.batches_sent += 1
 
     def _deliver_entries(self, entries: list, statements: Sequence) -> None:
-        for entry, statement in zip(entries, statements):
+        for entry, statement in zip(entries, statements, strict=False):
             self._complete_entry(entry, statement)
 
     # -- per-entry completion (driven locally or by the gateway) -----------------
@@ -1387,14 +1387,15 @@ class DomainDecisionGateway(Component):
     def _parse_super_reply(
         self, message: Message, replica: str
     ) -> XacmlAuthzDecisionBatchStatement:
-        if self.secure_channel:
-            body = self._verify_reply_body(message, replica)
-        else:
-            body = str(message.payload)
+        body = (
+            self._verify_reply_body(message, replica)
+            if self.secure_channel
+            else str(message.payload)
+        )
         return XacmlAuthzDecisionBatchStatement.from_xml(body)
 
     def _deliver_slots(self, slots: list[_WireSlot], statements: Sequence) -> None:
-        for slot, statement in zip(slots, statements):
+        for slot, statement in zip(slots, statements, strict=False):
             self._inflight_slots.pop(slot.cache_key, None)
             for entry in slot.entries:
                 self.decisions_delivered += 1

@@ -283,7 +283,7 @@ class _ServiceContext:
     # -- group completion ---------------------------------------------------------
 
     def _deliver(self, parts: list[_ServicePart], statements: Sequence) -> None:
-        for part, statement in zip(parts, statements):
+        for part, statement in zip(parts, statements, strict=False):
             self.statements[part.index] = statement
         self._complete_group()
 
@@ -662,7 +662,7 @@ class FederatedGateway(DomainDecisionGateway):
         """
         if not self.remote_cache.enabled:
             return
-        for slot, statement in zip(slots, statements):
+        for slot, statement in zip(slots, statements, strict=False):
             if not statement.response.decision.is_definitive:
                 continue
             if self._fenced(slot.request, statement.issue_instant):
@@ -906,9 +906,9 @@ class FederatedGateway(DomainDecisionGateway):
         try:
             forwarded, signer = self._unwrap_forward(message)
         except (WsSecurityError, RpcFault) as exc:
-            raise self._reject_origin("federation:bad-signature", str(exc))
+            raise self._reject_origin("federation:bad-signature", str(exc)) from exc
         except Exception as exc:
-            raise RpcFault("federation:bad-forward", str(exc))
+            raise RpcFault("federation:bad-forward", str(exc)) from exc
         expected = self._origins.get(forwarded.origin_domain)
         if expected is None:
             raise self._reject_origin(

@@ -453,7 +453,7 @@ class PolicyDecisionPoint(Component):
             statements = tuple(
                 self._statement_for(query, engine_response)
                 for query, engine_response in zip(
-                    batch.queries, engine_responses
+                    batch.queries, engine_responses, strict=True
                 )
             )
         else:
@@ -497,7 +497,9 @@ class PolicyDecisionPoint(Component):
             engine_responses = self.evaluate_batch(
                 [query.request for _, query in owned]
             )
-            for (index, query), engine_response in zip(owned, engine_responses):
+            for (index, query), engine_response in zip(
+                owned, engine_responses, strict=True
+            ):
                 statements[index] = self._statement_for(query, engine_response)
         metrics = self.network.metrics
         for owner, group in misrouted.items():
@@ -525,14 +527,16 @@ class PolicyDecisionPoint(Component):
             if answers is not None:
                 self.reforwarded_batches += 1
                 metrics.bump("placement.reforwarded", len(group))
-                for (index, _), statement in zip(group, answers):
+                for (index, _), statement in zip(group, answers, strict=True):
                     statements[index] = statement
                 continue
             metrics.bump("placement.reforward_fallback", len(group))
             engine_responses = self.evaluate_batch(
                 [query.request for _, query in group]
             )
-            for (index, query), engine_response in zip(group, engine_responses):
+            for (index, query), engine_response in zip(
+                group, engine_responses, strict=True
+            ):
                 statements[index] = self._statement_for(query, engine_response)
         return tuple(statements)
 

@@ -435,7 +435,7 @@ class PolicyEnforcementPoint(Component):
                         results[index] = self._fail_safe_result(exc)
             else:
                 for (key, request), statement in zip(
-                    miss_order, statement_batch.statements
+                    miss_order, statement_batch.statements, strict=False
                 ):
                     self.decision_cache.put(key, statement)
                     for index in miss_indices[key]:
@@ -447,7 +447,7 @@ class PolicyEnforcementPoint(Component):
                         )
         tracer = self.network.tracer
         if tracer.enabled:
-            for request, result in zip(requests, results):
+            for request, result in zip(requests, results, strict=True):
                 tracer.sync_decision(
                     self, request, result, path="authorize_batch"
                 )

@@ -150,7 +150,7 @@ class PlacementMap:
         self._replicas.remove(address)
         keep = [
             (point, owner)
-            for point, owner in zip(self._points, self._owners)
+            for point, owner in zip(self._points, self._owners, strict=True)
             if owner != address
         ]
         self._points = [point for point, _ in keep]

@@ -158,7 +158,7 @@ class DirectoryService(Component):
         try:
             resource_id = parse_lookup(str(message.payload))
         except ValueError as exc:
-            raise RpcFault("directory:bad-lookup", str(exc))
+            raise RpcFault("directory:bad-lookup", str(exc)) from exc
         self.lookups_served += 1
         return DirectoryRecord(
             resource_id=resource_id,

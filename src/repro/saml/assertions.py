@@ -212,10 +212,13 @@ def validate_assertion(
             f"assertion {assertion.assertion_id} outside validity window "
             f"at t={at} [{assertion.not_before}, {assertion.not_on_or_after})"
         )
-    if expected_audience is not None and assertion.audience is not None:
-        if assertion.audience != expected_audience:
-            raise AssertionError_(
-                f"assertion audience {assertion.audience!r} does not include "
-                f"{expected_audience!r}"
-            )
+    if (
+        expected_audience is not None
+        and assertion.audience is not None
+        and assertion.audience != expected_audience
+    ):
+        raise AssertionError_(
+            f"assertion audience {assertion.audience!r} does not include "
+            f"{expected_audience!r}"
+        )
     return assertion

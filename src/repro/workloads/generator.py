@@ -144,14 +144,11 @@ def request_stream(
         resource_id, resource_domain = rng.choices(
             workload.resources, weights=weights
         )[0]
-        if rng.random() < spec.cross_domain_fraction:
-            candidates = [
-                (s, d) for s, d in workload.subjects if d != resource_domain
-            ]
-        else:
-            candidates = [
-                (s, d) for s, d in workload.subjects if d == resource_domain
-            ]
+        candidates = (
+            [(s, d) for s, d in workload.subjects if d != resource_domain]
+            if rng.random() < spec.cross_domain_fraction
+            else [(s, d) for s, d in workload.subjects if d == resource_domain]
+        )
         subject_id, subject_domain = rng.choice(candidates or workload.subjects)
         action_id = "read" if rng.random() < spec.read_fraction else "write"
         events.append(

@@ -243,7 +243,9 @@ def drive_closed_loop(
 
     states = [
         make_driver(pep, requests, window)
-        for pep, requests, window in zip(peps, requests_by_pep, windows)
+        for pep, requests, window in zip(
+            peps, requests_by_pep, windows, strict=True
+        )
     ]
     for state in states:
         state["pump"]()
@@ -260,7 +262,9 @@ def drive_closed_loop(
                 pep_latency_series(state["pep"].name), samples_before
             ),
         )
-        for state, samples_before in zip(states, per_pep_samples_before)
+        for state, samples_before in zip(
+            states, per_pep_samples_before, strict=True
+        )
     )
     completed = sum(stats.completed for stats in per_pep)
     duration = max(shared["last_completion_at"] - started_at, 1e-9)
@@ -289,7 +293,7 @@ def drive_closed_loop(
                 label,
                 tuple(
                     stats
-                    for stats, owner in zip(per_pep, groups)
+                    for stats, owner in zip(per_pep, groups, strict=True)
                     if owner == label
                 ),
             )

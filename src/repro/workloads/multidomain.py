@@ -72,10 +72,11 @@ def multi_domain_request_mix(
     rng = random.Random(seed)
     requests = []
     for _ in range(count):
-        if remote_domains and rng.random() < remote_fraction:
-            governing = remote_domains[rng.randrange(len(remote_domains))]
-        else:
-            governing = home_domain
+        governing = (
+            remote_domains[rng.randrange(len(remote_domains))]
+            if remote_domains and rng.random() < remote_fraction
+            else home_domain
+        )
         requests.append(
             RequestContext.simple(
                 f"user-{rng.randrange(subjects)}",

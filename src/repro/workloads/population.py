@@ -50,7 +50,7 @@ from ..xacml.attributes import (
 from ..xacml.context import RequestContext
 from ..xacml.expressions import attribute_equals
 from ..xacml.policy import Policy
-from ..xacml.rules import permit_rule
+from ..xacml.rules import deny_rule, permit_rule
 from ..xacml.targets import subject_resource_action_target
 from .generator import ACTIONS, AccessEvent
 
@@ -353,19 +353,30 @@ class Population:
 
     # -- policies -----------------------------------------------------------------
 
-    def policy_set(self) -> list[Policy]:
+    def policy_set(self, policies: Optional[int] = None) -> list[Policy]:
         """Role-based policies governing the population's resources.
 
-        One policy per action, targeted on the action id (so the target
-        index keeps candidate sets small) with one role-conditioned
-        permit rule per entitled role.  Entitlement tightens with
-        privilege: everyone reads, individual contributors above
-        contractor plus all management write, only senior management
-        deletes.  Decisions therefore *require* resolving the subject's
-        role attribute — the per-subject state E19 shards — and no rule
-        constrains resources, so the store replicates cleanly across a
-        subject-sharded tier.
+        With ``policies=None`` (the default): one policy per action,
+        targeted on the action id (so the target index keeps candidate
+        sets small) with one role-conditioned permit rule per entitled
+        role.  Entitlement tightens with privilege: everyone reads,
+        individual contributors above contractor plus all management
+        write, only senior management deletes.  Decisions therefore
+        *require* resolving the subject's role attribute — the
+        per-subject state E19 shards — and no rule constrains resources,
+        so the store replicates cleanly across a subject-sharded tier.
+
+        With ``policies=N``: a mined-looking corpus of ``N`` per-resource
+        policies (the "Mining Domain-Based Policies" shape), each
+        targeting one ``(resource, action)`` pair with role-conditioned
+        permit rules and an occasional disjoint-role deny.  The corpus
+        is *clean by construction* — permitted and denied role sets are
+        derived per ``(resource, action)`` bucket and kept disjoint, so
+        the static analyzer must report zero findings on it; E25 pins
+        exactly that, and uses the corpus for wall-time scaling.
         """
+        if policies is not None:
+            return self._mined_policy_set(policies)
         management = _DEPTH_ROLES + ("manager",)
         ic_roles = tuple(self.spec.roles)
         writers = tuple(
@@ -396,6 +407,60 @@ class Population:
                 )
             )
         return policies
+
+    def _mined_policy_set(self, count: int) -> list[Policy]:
+        if count < 1:
+            raise ValueError(f"policies must be >= 1, got {count}")
+        management = _DEPTH_ROLES + ("manager",)
+        all_roles = tuple(self.spec.roles) + management
+        out: list[Policy] = []
+        for index in range(count):
+            resource = index % self.spec.resources
+            action = ACTIONS[(index // self.spec.resources) % len(ACTIONS)]
+            # Role sets derive from the (resource, action) bucket, not
+            # the policy index, so same-bucket policies never contradict
+            # each other and denied roles stay disjoint from permitted
+            # ones — zero analyzer findings by construction.
+            rng = random.Random(
+                f"{self.spec.seed}:mined:{resource}:{action}"
+            )
+            permitted = tuple(
+                rng.sample(all_roles, k=rng.randrange(1, 4))
+            )
+            denied = tuple(
+                role
+                for role in all_roles
+                if role not in permitted and rng.random() < 0.2
+            )[:1]
+            rules = tuple(
+                permit_rule(
+                    f"mined-{index}-permit-{role}",
+                    condition=attribute_equals(
+                        Category.SUBJECT, SUBJECT_ROLE, string(role)
+                    ),
+                )
+                for role in permitted
+            ) + tuple(
+                deny_rule(
+                    f"mined-{index}-deny-{role}",
+                    condition=attribute_equals(
+                        Category.SUBJECT, SUBJECT_ROLE, string(role)
+                    ),
+                )
+                for role in denied
+            )
+            out.append(
+                Policy(
+                    policy_id=f"mined-{self.spec.seed}-{index:05d}",
+                    target=subject_resource_action_target(
+                        resource_id=self.resource_id(resource),
+                        action_id=action,
+                    ),
+                    rules=rules,
+                    rule_combining=combining.RULE_PERMIT_OVERRIDES,
+                )
+            )
+        return out
 
     # -- request streams ----------------------------------------------------------
 

@@ -74,7 +74,7 @@ class KeyPair:
                 f"we are {self.public.key_id[:8]}...)"
             )
         pad = _keystream(self.private, ciphertext.nonce, len(ciphertext.body))
-        return bytes(a ^ b for a, b in zip(ciphertext.body, pad))
+        return bytes(a ^ b for a, b in zip(ciphertext.body, pad, strict=True))
 
 
 @dataclass(frozen=True)
@@ -136,7 +136,7 @@ class KeyStore:
             f"nonce:{self._seed}:{self._counter}".encode("ascii")
         ).digest()[:12]
         pad = _keystream(pair.private, nonce, len(plaintext))
-        body = bytes(a ^ b for a, b in zip(plaintext, pad))
+        body = bytes(a ^ b for a, b in zip(plaintext, pad, strict=True))
         return Ciphertext(recipient=public.key_id, nonce=nonce, body=body)
 
     def verify(self, public: PublicKey, data: bytes, signature: str) -> bool:

@@ -94,16 +94,17 @@ class CertificateAuthority:
         self.parent = parent
         self.keypair: KeyPair = keystore.generate(label=f"ca:{name}")
         self._revoked: set[int] = set()
-        if parent is None:
-            self.certificate = self._self_sign(validity)
-        else:
-            self.certificate = parent.issue(
+        self.certificate = (
+            self._self_sign(validity)
+            if parent is None
+            else parent.issue(
                 subject=name,
                 public_key=self.keypair.public,
                 not_before=0.0,
                 lifetime=validity,
                 extensions=(("basicConstraints", "CA:TRUE"),),
             )
+        )
 
     def _self_sign(self, validity: float) -> Certificate:
         unsigned = Certificate(

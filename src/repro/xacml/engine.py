@@ -37,6 +37,26 @@ class EvaluationStats:
     candidate_set_size: int = 0
 
 
+class AnalysisGateError(ValueError):
+    """An element was refused deployment by the store's analysis gate.
+
+    Carries the blocking findings so callers (PAPs, tests, operators) can
+    show *why* — every one of them is backed by an engine-verified
+    witness request.
+    """
+
+    def __init__(self, identifier: str, findings: list) -> None:
+        summary = "; ".join(
+            f"{f.kind.value}@{f.location}" for f in findings[:3]
+        )
+        more = f" (+{len(findings) - 3} more)" if len(findings) > 3 else ""
+        super().__init__(
+            f"analysis gate refused {identifier!r}: {summary}{more}"
+        )
+        self.identifier = identifier
+        self.findings = findings
+
+
 class PolicyStore:
     """Holds top-level policy elements and finds the applicable ones.
 
@@ -45,10 +65,28 @@ class PolicyStore:
     evaluates elements whose indexed constraints are satisfiable, plus all
     unindexable elements.  Indexing never changes decisions — only which
     elements get *checked* — and a property test asserts exactly that.
+
+    ``analysis_gate`` opts into pre-deployment static analysis on every
+    :meth:`add`: ``"error"`` refuses elements with ERROR-severity
+    findings (shadowed rules, masked effects, only-one-applicable
+    overlaps), ``"warning"`` refuses on any finding at all.  Refusals
+    raise :class:`AnalysisGateError` and leave the store unchanged.
     """
 
-    def __init__(self, indexed: bool = True) -> None:
+    def __init__(
+        self,
+        indexed: bool = True,
+        analysis_gate: Optional[str] = None,
+        metrics: Optional[object] = None,
+    ) -> None:
+        if analysis_gate not in (None, "error", "warning"):
+            raise ValueError(
+                f"analysis_gate must be 'error', 'warning' or None, "
+                f"got {analysis_gate!r}"
+            )
         self.indexed = indexed
+        self.analysis_gate = analysis_gate
+        self.metrics = metrics
         self._elements: dict[str, PolicyElement] = {}
         self._index: dict[tuple[Category, str, str], set[str]] = {}
         self._unindexable: set[str] = set()
@@ -60,8 +98,31 @@ class PolicyStore:
         identifier = child_identifier(element)
         if identifier in self._elements:
             raise ValueError(f"duplicate policy element id {identifier!r}")
+        if self.analysis_gate is not None:
+            self._gate_check(identifier, element)
         self._elements[identifier] = element
         self._index_element(identifier, element)
+
+    def _gate_check(self, identifier: str, element: PolicyElement) -> None:
+        from .analysis import analyze  # deferred: analysis imports this module
+        from .validation import Severity
+
+        level = (
+            Severity.WARNING
+            if self.analysis_gate == "warning"
+            else Severity.ERROR
+        )
+        report = analyze(
+            element,
+            resolver=self.get,
+            include_validation=False,
+            metrics=self.metrics,
+        )
+        blocking = report.blocking(level)
+        if blocking:
+            if self.metrics is not None:
+                self.metrics.bump("analysis.gate_rejections")
+            raise AnalysisGateError(identifier, blocking)
 
     def remove(self, identifier: str) -> None:
         self._elements.pop(identifier, None)
@@ -326,6 +387,17 @@ class PdpEngine:
     ) -> Decision:
         """Shorthand when only the decision matters."""
         return self.evaluate(request, current_time).decision
+
+    def analyze(self):
+        """Statically analyze the whole store under this engine's
+        policy-combining algorithm (see :mod:`repro.xacml.analysis`)."""
+        from .analysis import analyze
+
+        return analyze(
+            self.store,
+            policy_combining=self.policy_combining,
+            metrics=self.store.metrics,
+        )
 
 
 def evaluate_element(

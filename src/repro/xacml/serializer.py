@@ -183,10 +183,11 @@ def policy_set_to_element(policy_set: PolicySet) -> ET.Element:
 
 def serialize_policy(element: Union[Policy, PolicySet]) -> str:
     """Policy or policy set to compact XML text."""
-    if isinstance(element, Policy):
-        xml_el = policy_to_element(element)
-    else:
-        xml_el = policy_set_to_element(element)
+    xml_el = (
+        policy_to_element(element)
+        if isinstance(element, Policy)
+        else policy_set_to_element(element)
+    )
     return ET.tostring(xml_el, encoding="unicode")
 
 

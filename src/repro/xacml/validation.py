@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Union
+from typing import Callable, Optional, Union
 
 from . import combining, functions
 from .expressions import (
@@ -155,10 +155,27 @@ def validate_policy(policy: Policy) -> list[ValidationIssue]:
     return issues
 
 
-def validate_policy_set(policy_set: PolicySet) -> list[ValidationIssue]:
-    """Validate a policy set and everything beneath it."""
+#: Resolves a ``PolicyReference`` id to the referenced element (the
+#: signature of ``PolicyStore.get``).
+Resolver = Callable[[str], object]
+
+
+def validate_policy_set(
+    policy_set: PolicySet,
+    resolver: Optional[Resolver] = None,
+    _reference_stack: Optional[set[str]] = None,
+) -> list[ValidationIssue]:
+    """Validate a policy set and everything beneath it.
+
+    With a ``resolver``, ``PolicyReference`` children are resolved and
+    validated through — composability the reference mechanism otherwise
+    hides from pre-deployment checking.  An unresolvable or cyclic
+    reference is an ERROR (it would evaluate Indeterminate at runtime);
+    without a resolver, references keep their advisory WARNING.
+    """
     issues: list[ValidationIssue] = []
     location = f"policySet[{policy_set.policy_set_id}]"
+    stack = _reference_stack if _reference_stack is not None else set()
     if policy_set.policy_combining not in combining.known_algorithms():
         issues.append(
             ValidationIssue(
@@ -178,27 +195,74 @@ def validate_policy_set(policy_set: PolicySet) -> list[ValidationIssue]:
 
     for child in policy_set.children:
         if isinstance(child, PolicyReference):
-            issues.append(
-                ValidationIssue(
-                    Severity.WARNING,
-                    f"{location}/reference[{child.reference_id}]",
-                    "policy reference resolves only at evaluation time "
-                    "against the deploying engine's store",
+            reference_location = f"{location}/reference[{child.reference_id}]"
+            if resolver is None:
+                issues.append(
+                    ValidationIssue(
+                        Severity.WARNING,
+                        reference_location,
+                        "policy reference resolves only at evaluation time "
+                        "against the deploying engine's store",
+                    )
                 )
-            )
+                continue
+            if child.reference_id in stack:
+                issues.append(
+                    ValidationIssue(
+                        Severity.ERROR,
+                        reference_location,
+                        "cyclic policy reference; evaluates Indeterminate",
+                    )
+                )
+                continue
+            resolved = resolver(child.reference_id)
+            if not isinstance(resolved, (Policy, PolicySet)):
+                issues.append(
+                    ValidationIssue(
+                        Severity.ERROR,
+                        reference_location,
+                        "unresolvable policy reference; "
+                        "evaluates Indeterminate",
+                    )
+                )
+                continue
+            stack.add(child.reference_id)
+            try:
+                issues.extend(
+                    validate(resolved, resolver=resolver, _reference_stack=stack)
+                )
+            finally:
+                stack.discard(child.reference_id)
             continue
-        issues.extend(validate(child))
+        issues.extend(
+            validate(child, resolver=resolver, _reference_stack=stack)
+        )
     return issues
 
 
-def validate(element: Union[Policy, PolicySet]) -> list[ValidationIssue]:
+def validate(
+    element: Union[Policy, PolicySet],
+    resolver: Optional[Resolver] = None,
+    _reference_stack: Optional[set[str]] = None,
+) -> list[ValidationIssue]:
     if isinstance(element, Policy):
         return validate_policy(element)
-    return validate_policy_set(element)
-
-
-def is_deployable(element: Union[Policy, PolicySet]) -> bool:
-    """True when the element carries no ERROR-severity issues."""
-    return not any(
-        issue.severity is Severity.ERROR for issue in validate(element)
+    return validate_policy_set(
+        element, resolver=resolver, _reference_stack=_reference_stack
     )
+
+
+def is_deployable(
+    element: Union[Policy, PolicySet],
+    resolver: Optional[Resolver] = None,
+    blocking: Severity = Severity.ERROR,
+) -> bool:
+    """True when no issue at or above the blocking severity exists.
+
+    The default blocks on ERROR only — warnings advise, they do not stop
+    deployment.  Pass ``blocking=Severity.WARNING`` for strict gates.
+    """
+    issues = validate(element, resolver=resolver)
+    if blocking is Severity.WARNING:
+        return not issues
+    return not any(issue.severity is Severity.ERROR for issue in issues)

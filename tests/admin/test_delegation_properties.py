@@ -56,7 +56,7 @@ class TestReductionSoundness:
         # Chain runs root -> ... -> issuer.
         assert result.chain[0].delegator in registry.roots
         assert result.chain[-1].delegate == issuer
-        for earlier, later in zip(result.chain, result.chain[1:]):
+        for earlier, later in zip(result.chain, result.chain[1:], strict=False):
             assert earlier.delegate == later.delegator
         # Every hop covers the requested scope.
         for grant in result.chain:

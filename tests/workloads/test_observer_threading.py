@@ -144,7 +144,7 @@ class TestMultiPepObserver:
             peps, streams, concurrency=4, observer=recorder
         )
         assert stats.fleet.completed == 24
-        recorder.assert_matches(dict(zip(peps, streams)))
+        recorder.assert_matches(dict(zip(peps, streams, strict=True)))
 
     def test_coalesced_duplicates_each_get_their_own_callback(self):
         """Identical requests dedup onto one wire slot, but the observer
@@ -179,7 +179,7 @@ class TestMultiPepObserver:
             "crash never forced a failover — the scenario is not "
             "exercising the retransmit path"
         )
-        recorder.assert_matches(dict(zip(peps, streams)))
+        recorder.assert_matches(dict(zip(peps, streams, strict=True)))
 
     def test_total_failure_fail_safe_path_keeps_pairing(self):
         """Every replica dead: results are fail-safe denials, and the

@@ -250,6 +250,7 @@ class TestStreams:
         for event, request in zip(
             population.events(50, seed=1),
             population.request_contexts(50, seed=1),
+            strict=True,
         ):
             assert request.subject_id == event.subject_id
             assert request.resource_id == event.resource_id

@@ -90,7 +90,7 @@ def assert_elementwise_equal(engine: PdpEngine, requests) -> None:
     sequential = [engine.evaluate(request) for request in requests]
     batched = engine.evaluate_batch(requests)
     assert len(batched) == len(sequential)
-    for seq, bat in zip(sequential, batched):
+    for seq, bat in zip(sequential, batched, strict=True):
         assert bat.decision is seq.decision
         assert bat.response.result.status == seq.response.result.status
         assert (
@@ -142,7 +142,9 @@ class TestBatchEquivalence:
             indexed.add_policy(policy)
             linear.add_policy(policy)
         for from_indexed, from_linear in zip(
-            indexed.evaluate_batch(requests), linear.evaluate_batch(requests)
+            indexed.evaluate_batch(requests),
+            linear.evaluate_batch(requests),
+            strict=True,
         ):
             assert from_indexed.decision is from_linear.decision
             assert (

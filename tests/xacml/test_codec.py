@@ -11,6 +11,7 @@ from repro.xacml import (
     ObligationAssignment,
     ParseError,
     Policy,
+    PolicyReference,
     PolicySet,
     RequestContext,
     ResponseContext,
@@ -261,3 +262,81 @@ class TestValidation:
         )
         issues = validate(policy)
         assert any("data types differ" in issue.message for issue in issues)
+
+
+def broken_policy(policy_id="broken"):
+    return Policy(
+        policy_id=policy_id,
+        rules=(
+            permit_rule("r", condition=Condition(apply_("urn:bogus:function"))),
+        ),
+    )
+
+
+class TestValidationComposability:
+    """validate() follows PolicyReference children through a resolver."""
+
+    def referencing_set(self):
+        return PolicySet(
+            policy_set_id="outer",
+            children=(PolicyReference("target-id"),),
+        )
+
+    def test_without_resolver_references_only_warn(self):
+        issues = validate(self.referencing_set())
+        assert [issue.severity for issue in issues] == [Severity.WARNING]
+        assert "evaluation time" in issues[0].message
+
+    def test_resolver_validates_through_references(self):
+        catalog = {"target-id": broken_policy()}
+        issues = validate(self.referencing_set(), resolver=catalog.get)
+        assert any(
+            issue.severity is Severity.ERROR
+            and "unknown function" in issue.message
+            for issue in issues
+        )
+        assert not is_deployable(self.referencing_set(), resolver=catalog.get)
+
+    def test_resolver_with_clean_reference_is_deployable(self):
+        catalog = {
+            "target-id": Policy(policy_id="fine", rules=(permit_rule("r"),))
+        }
+        assert is_deployable(self.referencing_set(), resolver=catalog.get)
+
+    def test_unresolvable_reference_is_an_error(self):
+        issues = validate(self.referencing_set(), resolver={}.get)
+        assert any(
+            issue.severity is Severity.ERROR
+            and "unresolvable policy reference" in issue.message
+            for issue in issues
+        )
+
+    def test_cyclic_reference_is_an_error(self):
+        catalog = {}
+        cyclic = PolicySet(
+            policy_set_id="cyclic",
+            children=(PolicyReference("cyclic"),),
+        )
+        catalog["cyclic"] = cyclic
+        issues = validate(cyclic, resolver=catalog.get)
+        assert any(
+            issue.severity is Severity.ERROR
+            and "cyclic policy reference" in issue.message
+            for issue in issues
+        )
+
+    def test_mutual_cycle_is_detected(self):
+        catalog = {}
+        catalog["a"] = PolicySet(
+            policy_set_id="a", children=(PolicyReference("b"),)
+        )
+        catalog["b"] = PolicySet(
+            policy_set_id="b", children=(PolicyReference("a"),)
+        )
+        issues = validate(catalog["a"], resolver=catalog.get)
+        assert any("cyclic" in issue.message for issue in issues)
+
+    def test_strict_gate_blocks_on_warnings(self):
+        empty = Policy(policy_id="empty", rules=())
+        assert is_deployable(empty)  # default gate: errors only
+        assert not is_deployable(empty, blocking=Severity.WARNING)

@@ -104,6 +104,64 @@ class TestCombiningAlgorithms:
         with pytest.raises(combining.CombiningError):
             combining.lookup("urn:bogus")
 
+    def test_first_applicable_leading_indeterminate_stops(self):
+        # An Indeterminate is "applicable" for first-applicable: iteration
+        # stops there and later definitive children never decide.
+        combiner = combining.lookup(combining.RULE_FIRST_APPLICABLE)
+        decision, _ = combiner(
+            make_children(Decision.INDETERMINATE, Decision.PERMIT)
+        )
+        assert decision is Decision.INDETERMINATE
+
+    def test_first_applicable_leading_indeterminate_short_circuits(self):
+        calls = []
+
+        def child(decision):
+            def run():
+                calls.append(decision)
+                return decision, None
+
+            return run
+
+        combiner = combining.lookup(combining.RULE_FIRST_APPLICABLE)
+        combiner([child(Decision.INDETERMINATE), child(Decision.DENY)])
+        assert calls == [Decision.INDETERMINATE]
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            combining.POLICY_DENY_OVERRIDES,
+            combining.POLICY_PERMIT_OVERRIDES,
+            combining.POLICY_FIRST_APPLICABLE,
+            combining.POLICY_ONLY_ONE_APPLICABLE,
+        ],
+    )
+    def test_empty_children_are_not_applicable(self, algorithm):
+        decision, status = combining.lookup(algorithm)([])
+        assert decision is Decision.NOT_APPLICABLE
+
+    def test_only_one_applicable_two_matching_policies_end_to_end(self):
+        permit = Policy(
+            policy_id="permit-read",
+            target=subject_resource_action_target(action_id="read"),
+            rules=(permit_rule("allow"),),
+        )
+        audit = Policy(
+            policy_id="audit-doc",
+            target=subject_resource_action_target(resource_id="doc"),
+            rules=(permit_rule("log-and-allow"),),
+        )
+        outer = PolicySet(
+            policy_set_id="exclusive",
+            children=(permit, audit),
+            policy_combining=combining.POLICY_ONLY_ONE_APPLICABLE,
+        )
+        result = evaluate_element(
+            outer, RequestContext.simple("alice", "doc", "read")
+        )
+        assert result.decision is Decision.INDETERMINATE
+        assert "more than one" in result.status.message
+
 
 def req(subject="alice", resource="doc", action="read"):
     return RequestContext.simple(subject, resource, action)
